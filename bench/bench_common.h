@@ -1,0 +1,83 @@
+// Shared helpers for the paper-reproduction benchmark harnesses. Each bench
+// binary regenerates one table or figure of the paper; the helpers here keep
+// configuration (model scales, optimizer settings) consistent across them so
+// numbers are comparable between tables.
+//
+// Environment knobs:
+//   TENSAT_BENCH_QUICK=1   shrink workloads for smoke runs (CI / ctest).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cost/cost.h"
+#include "models/models.h"
+#include "optimizer/optimizer.h"
+#include "rewrite/rules.h"
+#include "taso/search.h"
+
+namespace tensat::bench {
+
+inline bool quick_mode() {
+  const char* v = std::getenv("TENSAT_BENCH_QUICK");
+  return v != nullptr && v[0] == '1';
+}
+
+inline const T4CostModel& cost_model() {
+  static const T4CostModel model;
+  return model;
+}
+
+/// The benchmark models, scaled down in quick mode.
+inline std::vector<ModelInfo> bench_models() {
+  if (!quick_mode()) return paper_models();
+  std::vector<ModelInfo> models;
+  models.push_back({"NasRNN", make_nasrnn(1, 8, 128)});
+  models.push_back({"BERT", make_bert(1, 16, 64)});
+  models.push_back({"ResNeXt-50", make_resnext50(1, 16, 8, 2)});
+  models.push_back({"NasNet-A", make_nasnet_a(1, 8, 8)});
+  models.push_back({"SqueezeNet", make_squeezenet(1, 16, 16)});
+  models.push_back({"VGG-19", make_vgg19(4, 32)});
+  models.push_back({"Inception-v3", make_inception_v3(1, 16, 8)});
+  return models;
+}
+
+/// TENSAT settings mirroring the paper's defaults (§6.1), with the e-graph
+/// node limit scaled to what the in-repo MILP can extract from.
+inline TensatOptions tensat_options(int k_multi = 1) {
+  TensatOptions opt;
+  opt.k_max = quick_mode() ? 4 : 8;
+  opt.k_multi = k_multi;
+  opt.node_limit = quick_mode() ? 500 : 900;
+  opt.explore_time_limit_s = 30.0;
+  opt.cycle_filter = CycleFilterMode::kEfficient;
+  opt.extractor = ExtractorKind::kIlp;
+  opt.ilp.time_limit_s = quick_mode() ? 5.0 : 20.0;
+  opt.ilp.max_instance_nodes = 2600;
+  return opt;
+}
+
+/// TASO baseline settings (§6.1: n = 100, alpha = 1.05).
+inline TasoOptions taso_options() {
+  TasoOptions opt;
+  opt.iterations = quick_mode() ? 10 : 100;
+  opt.alpha = 1.05;
+  opt.time_limit_s = quick_mode() ? 10.0 : 60.0;
+  return opt;
+}
+
+inline double speedup_percent(double original, double optimized) {
+  if (optimized <= 0.0) return 0.0;
+  return 100.0 * (original - optimized) / optimized;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("(reproduces %s; simulated T4 cost model — compare shapes, not\n"
+              " absolute numbers; see EXPERIMENTS.md)\n\n",
+              paper_ref);
+}
+
+}  // namespace tensat::bench

@@ -1,0 +1,42 @@
+// Reproduces paper Figure 6: speedup-over-optimization-time trade-off on
+// Inception-v3. TASO's curve comes from its improvement timeline (best cost
+// at each time an improvement was found); TENSAT contributes one point per
+// k_multi setting (its whole run is a single shot).
+#include "bench/bench_common.h"
+#include "support/timer.h"
+
+using namespace tensat;
+using namespace tensat::bench;
+
+int main() {
+  print_header("Figure 6 — speedup vs optimizer time (Inception-v3)", "Figure 6");
+
+  Graph graph;
+  for (const ModelInfo& m : bench_models())
+    if (m.name == "Inception-v3") graph = m.graph;
+
+  // TASO timeline.
+  TasoOptions topt = taso_options();
+  topt.time_limit_s = quick_mode() ? 10.0 : 60.0;
+  topt.iterations = 1000000;  // let the time limit govern, as in Fig. 6
+  const TasoResult taso = taso_search(graph, default_rules(), cost_model(), topt);
+  std::printf("TASO curve (time s -> speedup %%):\n");
+  for (const auto& [seconds, cost] : taso.stats.timeline)
+    std::printf("  %8.2fs  %6.2f%%\n", seconds,
+                speedup_percent(taso.original_cost, cost));
+
+  // TENSAT points at k_multi = 1 and 2 (the paper's "Incept." and
+  // "Incept. k=2" runs).
+  for (int k_multi = 1; k_multi <= 2; ++k_multi) {
+    Timer t;
+    const TensatResult r =
+        optimize(graph, default_rules(), cost_model(), tensat_options(k_multi));
+    std::printf("TENSAT k_multi=%d: %8.2fs  %6.2f%%\n", k_multi, t.seconds(),
+                speedup_percent(r.original_cost, r.optimized_cost));
+    std::fflush(stdout);
+  }
+  std::printf("\nPaper shape to check: TENSAT reaches its speedup in a fraction of\n"
+              "the time TASO needs to approach its own plateau (better trade-off\n"
+              "curve).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces paper Table 5: ILP extraction time with vs without the
+// acyclicity constraints (4)-(5), with both real-valued and integer-valued
+// topological-order variables t_m.
+//
+// Protocol follows the paper: with cycle constraints, exploration runs with
+// NO cycle filtering (the ILP must handle cycles); without them, exploration
+// uses efficient cycle filtering (the full TENSAT approach).
+#include "bench/bench_common.h"
+
+using namespace tensat;
+using namespace tensat::bench;
+
+namespace {
+
+struct Cell {
+  double seconds;
+  bool timed_out;
+};
+
+Cell run(const ModelInfo& m, int k_multi, bool cycle_constraints, bool integer_t) {
+  TensatOptions opt = tensat_options(k_multi);
+  opt.cycle_filter =
+      cycle_constraints ? CycleFilterMode::kNone : CycleFilterMode::kEfficient;
+  opt.ilp.cycle_constraints = cycle_constraints;
+  opt.ilp.integer_topo_vars = integer_t;
+  opt.ilp.time_limit_s = quick_mode() ? 5.0 : 15.0;
+  // Smaller e-graphs than Table 1: the contrast needs the no-cycle ILP to
+  // finish within our solver's reach (the paper ran SCIP at 50k e-nodes).
+  opt.node_limit = quick_mode() ? 300 : 450;
+
+  EGraph eg = seed_egraph(m.graph);
+  run_exploration(eg, default_rules(), opt);
+  const IlpExtractionResult r = extract_ilp(eg, cost_model(), opt.ilp);
+  return Cell{r.solve_seconds, r.timed_out};
+}
+
+void print_cell(const Cell& c, double limit) {
+  if (c.timed_out)
+    std::printf(" %11s", (">" + std::to_string(static_cast<int>(limit)) + "s").c_str());
+  else
+    std::printf(" %10.2fs", c.seconds);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 5 — ILP with vs without cycle constraints", "Table 5");
+  const double limit = quick_mode() ? 5.0 : 15.0;
+  std::printf("%-14s %7s %12s %12s %12s\n", "model", "k_multi", "cyc(real)",
+              "cyc(int)", "no-cyc");
+
+  // The paper's three models for this ablation.
+  std::vector<std::string> wanted = {"BERT", "NasRNN", "NasNet-A"};
+  for (const ModelInfo& m : bench_models()) {
+    if (std::find(wanted.begin(), wanted.end(), m.name) == wanted.end()) continue;
+    for (int k_multi = 1; k_multi <= 2; ++k_multi) {
+      const Cell real_t = run(m, k_multi, true, false);
+      const Cell int_t = run(m, k_multi, true, true);
+      const Cell none = run(m, k_multi, false, false);
+      std::printf("%-14s %7d", m.name.c_str(), k_multi);
+      print_cell(real_t, limit);
+      print_cell(int_t, limit);
+      print_cell(none, limit);
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nPaper shape to check: with cycle constraints the solver is one to\n"
+              "three orders of magnitude slower (or times out) vs without; real and\n"
+              "integer t_m behave similarly.\n");
+  return 0;
+}

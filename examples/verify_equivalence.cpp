@@ -1,0 +1,70 @@
+// Verifying an optimization end to end: optimize a model, save both graphs,
+// reload them, and check with the reference interpreter that they compute
+// identical outputs on shared random inputs. This is the workflow a user
+// would run before trusting an optimized graph in production (the optimized
+// graph is also printed in the serialized exchange format).
+#include <cstdio>
+
+#include "models/models.h"
+#include "optimizer/optimizer.h"
+#include "rewrite/rules.h"
+#include "serialize/serialize.h"
+#include "tensor/interp.h"
+
+namespace {
+
+/// Drops the noop chain the optimizer adds for single-rooting, so outputs
+/// can be compared tensor by tensor.
+std::vector<tensat::Id> real_roots(const tensat::Graph& g) {
+  using namespace tensat;
+  std::vector<Id> out;
+  std::vector<Id> stack(g.roots().begin(), g.roots().end());
+  while (!stack.empty()) {
+    const Id id = stack.back();
+    stack.pop_back();
+    if (g.node(id).op == Op::kNoop) {
+      stack.push_back(g.node(id).children[1]);
+      stack.push_back(g.node(id).children[0]);
+    } else {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tensat;
+
+  Graph original = make_squeezenet(/*fires=*/1, /*channels=*/8, /*hw=*/8);
+  const T4CostModel model;
+
+  TensatOptions options;
+  options.k_max = 4;
+  options.node_limit = 2000;
+  const TensatResult result = optimize(original, default_rules(), model, options);
+  std::printf("cost: %.2f -> %.2f us\n", result.original_cost, result.optimized_cost);
+
+  // Round-trip both graphs through the serializer (as a deployment would).
+  Graph opt = load_graph_from_string(save_graph_to_string(result.optimized));
+  original.single_root();
+  Graph orig = load_graph_from_string(save_graph_to_string(original));
+
+  orig.set_roots(real_roots(orig));
+  opt.set_roots(real_roots(opt));
+  const auto a = Interpreter(2026).run_roots(orig);
+  const auto b = Interpreter(2026).run_roots(opt);
+  if (a.size() != b.size()) {
+    std::printf("FAIL: output count differs (%zu vs %zu)\n", a.size(), b.size());
+    return 1;
+  }
+  float worst = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, Tensor::max_abs_diff(a[i], b[i]));
+  std::printf("max |difference| across %zu outputs: %.2e\n", a.size(),
+              static_cast<double>(worst));
+  std::printf(worst < 1e-3 ? "VERIFIED: graphs are equivalent\n"
+                           : "FAIL: outputs diverge\n");
+  return worst < 1e-3 ? 0 : 1;
+}

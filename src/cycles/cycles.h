@@ -1,0 +1,55 @@
+// Cycle filtering (paper §5.2). Valid rewrites can make the e-graph cyclic
+// (paper Fig. 3); extraction must return a DAG. TENSAT filters cycles during
+// exploration so the ILP can drop its (expensive) acyclicity constraints:
+//
+//  * Vanilla: before every merge, check with a fresh whole-e-graph pass
+//    whether the merge closes a cycle; discard the substitution if so.
+//    O(n_m * N) per iteration.
+//  * Efficient (Algorithm 2): a descendants map built once per iteration
+//    gives an O(1) (sound, incomplete) pre-filter per match; a DFS
+//    post-processing pass then finds the cycles that slipped through and
+//    resolves each by filtering the last-added e-node on it.
+//
+// The class graph here has an edge C -> D whenever some unfiltered e-node of
+// class C has child class D; filtered e-nodes are invisible.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "egraph/egraph.h"
+
+namespace tensat {
+
+/// Transitive descendants of every e-class, as a dense bitset matrix.
+/// Snapshot semantics: reflects the e-graph at construction time.
+class DescendantsMap {
+ public:
+  explicit DescendantsMap(const EGraph& eg);
+
+  /// True if `to` is a (transitive) descendant of `from`. Ids from the
+  /// snapshot's canonical ids; unknown ids return false.
+  [[nodiscard]] bool reaches(Id from, Id to) const;
+
+ private:
+  [[nodiscard]] int index_of(Id id) const;
+  size_t words_{0};
+  std::vector<uint64_t> bits_;
+  std::unordered_map<Id, int> index_;
+};
+
+/// Fresh whole-graph reachability: true if merging `a` and `b` would close a
+/// cycle (either can reach the other through unfiltered e-nodes). Used by
+/// vanilla cycle filtering; cost O(N) per call.
+bool merge_would_create_cycle(const EGraph& eg, Id a, Id b);
+
+/// One round of Algorithm 2's post-processing (lines 10-18): repeatedly DFS
+/// the class graph, collect cycles, and filter the most recently added
+/// e-node on each, until no cycles remain. Returns the number of e-nodes
+/// filtered. The e-graph must be clean (rebuilt).
+size_t filter_cycles(EGraph& eg);
+
+/// True if the class graph restricted to unfiltered e-nodes is acyclic.
+bool is_acyclic(const EGraph& eg);
+
+}  // namespace tensat

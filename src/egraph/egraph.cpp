@@ -1,0 +1,193 @@
+#include "egraph/egraph.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace tensat {
+
+TNode EGraph::canonicalize(TNode node) const {
+  for (Id& c : node.children) c = find(c);
+  return node;
+}
+
+std::optional<Id> EGraph::try_add(TNode node) {
+  node = canonicalize(node);
+  auto it = hashcons_.find(node);
+  if (it != hashcons_.end()) return find(it->second);
+
+  // E-class analysis: infer the new node's data from its children's.
+  std::vector<ValueInfo> inputs;
+  inputs.reserve(node.children.size());
+  for (Id c : node.children) inputs.push_back(classes_[find(c)].data);
+  auto data = infer(node, inputs);
+  if (!data.has_value()) return std::nullopt;  // shape check failed
+
+  const Id id = uf_.make_set();
+  TENSAT_CHECK(id == static_cast<Id>(classes_.size()), "class id mismatch");
+  classes_.emplace_back();
+  EClass& cls = classes_[id];
+  cls.data = std::move(*data);
+  cls.nodes.push_back(EClassNode{node, next_stamp_++, false});
+  for (Id c : node.children) classes_[find(c)].parents.emplace_back(node, id);
+  hashcons_.emplace(std::move(node), id);
+  ++version_;
+  return id;
+}
+
+Id EGraph::add(TNode node) {
+  auto id = try_add(std::move(node));
+  TENSAT_CHECK(id.has_value(), "e-graph add failed shape check");
+  return *id;
+}
+
+std::unordered_map<Id, Id> EGraph::add_graph(const Graph& g) {
+  TENSAT_CHECK(g.kind() == GraphKind::kConcrete, "cannot add a pattern graph");
+  std::unordered_map<Id, Id> mapping;
+  for (Id gid : g.topo_order()) {
+    TNode node = g.node(gid);
+    for (Id& c : node.children) c = mapping.at(c);
+    mapping.emplace(gid, add(std::move(node)));
+  }
+  return mapping;
+}
+
+void EGraph::join_data(ValueInfo& into, const ValueInfo& from) {
+  TENSAT_CHECK(into.kind == from.kind, "analysis merge: kind mismatch ("
+                                           << to_string(into) << " vs "
+                                           << to_string(from) << ")");
+  TENSAT_CHECK(into.shape == from.shape && into.shape2 == from.shape2,
+               "analysis merge: shape mismatch (" << to_string(into) << " vs "
+                                                  << to_string(from) << ")");
+  if (into.kind == VKind::kNum)
+    TENSAT_CHECK(into.num == from.num, "analysis merge: integer mismatch");
+  if (into.kind == VKind::kStr)
+    TENSAT_CHECK(into.str == from.str, "analysis merge: string mismatch");
+  // Equivalent terms compute the same value, so weight-constness discovered
+  // through any representation holds for the whole class.
+  into.weight_only = into.weight_only || from.weight_only;
+  // Concat histories join to equality-or-empty: a class only promises a
+  // split boundary that every representation agrees on. (A "keep the richer
+  // one" join lets extraction pick a member that cannot actually honor the
+  // boundary, which breaks reconstruction of the selected graph.)
+  if (into.hist != from.hist) into.hist.clear();
+}
+
+bool EGraph::merge(Id a, Id b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  const Id root = uf_.unite(a, b);
+  const Id other = (root == a) ? b : a;
+  EClass& winner = classes_[root];
+  EClass& loser = classes_[other];
+  join_data(winner.data, loser.data);
+  std::move(loser.nodes.begin(), loser.nodes.end(), std::back_inserter(winner.nodes));
+  std::move(loser.parents.begin(), loser.parents.end(),
+            std::back_inserter(winner.parents));
+  loser.nodes.clear();
+  loser.nodes.shrink_to_fit();
+  loser.parents.clear();
+  loser.parents.shrink_to_fit();
+  pending_.push_back(root);
+  ++version_;
+  return true;
+}
+
+void EGraph::rebuild() {
+  while (!pending_.empty()) {
+    std::vector<Id> todo;
+    todo.swap(pending_);
+    std::sort(todo.begin(), todo.end());
+    todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+    for (Id id : todo) repair(find(id));
+  }
+}
+
+void EGraph::repair(Id id) {
+  EClass& cls = classes_[id];
+
+  // Re-intern parents under their canonical forms; congruent parents merge.
+  auto parents = std::move(cls.parents);
+  cls.parents.clear();
+  for (auto& [p_node, p_class] : parents) {
+    hashcons_.erase(p_node);  // drop the stale key (no-op if already gone)
+    p_node = canonicalize(p_node);
+    auto it = hashcons_.find(p_node);
+    if (it != hashcons_.end()) {
+      merge(p_class, it->second);
+      it->second = find(p_class);
+    } else {
+      hashcons_.emplace(p_node, find(p_class));
+    }
+  }
+  // Deduplicate the repaired parent list.
+  std::unordered_map<TNode, Id, TNodeHash> seen;
+  EClass& cls2 = classes_[find(id)];  // `merge` above may have moved us
+  for (auto& [p_node, p_class] : parents) {
+    auto [it, inserted] = seen.emplace(p_node, find(p_class));
+    if (!inserted) continue;
+    cls2.parents.emplace_back(p_node, it->second);
+  }
+
+  // Canonicalize and deduplicate this class's own nodes. Duplicates keep the
+  // earliest stamp; a node is filtered if any duplicate was (the filter list
+  // identifies nodes structurally).
+  EClass& cls3 = classes_[find(id)];
+  std::unordered_map<TNode, size_t, TNodeHash> index;
+  std::vector<EClassNode> nodes;
+  nodes.reserve(cls3.nodes.size());
+  for (EClassNode& entry : cls3.nodes) {
+    entry.node = canonicalize(std::move(entry.node));
+    auto it = index.find(entry.node);
+    if (it == index.end()) {
+      index.emplace(entry.node, nodes.size());
+      nodes.push_back(std::move(entry));
+    } else {
+      EClassNode& kept = nodes[it->second];
+      kept.stamp = std::min(kept.stamp, entry.stamp);
+      if (entry.filtered && !kept.filtered) {
+        kept.filtered = true;
+      } else if (entry.filtered) {
+        --num_filtered_;  // collapsed two filtered copies into one
+      }
+    }
+  }
+  cls3.nodes = std::move(nodes);
+}
+
+std::vector<Id> EGraph::canonical_classes() const {
+  std::vector<Id> out;
+  for (Id id = 0; id < static_cast<Id>(classes_.size()); ++id)
+    if (find(id) == id) out.push_back(id);
+  return out;
+}
+
+size_t EGraph::num_classes() const {
+  size_t n = 0;
+  for (Id id = 0; id < static_cast<Id>(classes_.size()); ++id)
+    if (find(id) == id) ++n;
+  return n;
+}
+
+size_t EGraph::num_enodes() const {
+  size_t n = 0;
+  for (Id id = 0; id < static_cast<Id>(classes_.size()); ++id) {
+    if (find(id) != id) continue;
+    for (const EClassNode& e : classes_[id].nodes)
+      if (!e.filtered) ++n;
+  }
+  return n;
+}
+
+void EGraph::set_filtered(Id class_id, size_t index) {
+  EClass& cls = classes_[find(class_id)];
+  TENSAT_CHECK(index < cls.nodes.size(), "set_filtered: bad node index");
+  if (!cls.nodes[index].filtered) {
+    cls.nodes[index].filtered = true;
+    ++num_filtered_;
+    ++version_;
+  }
+}
+
+}  // namespace tensat

@@ -1,0 +1,105 @@
+// The e-graph: a set of e-classes, each a set of equivalent e-nodes, with
+// hash-consing and deferred congruence-closure maintenance (the rebuild
+// algorithm of egg, Willsey et al. 2020). The tensor shape analysis
+// (lang/shapes.h) is attached as the e-class analysis, which implements the
+// paper's shape checking: try_add() refuses to create nodes whose shapes
+// don't check out, which is how rewrites with shape preconditions are gated.
+//
+// Cycle filtering (paper §5.2) is supported through per-e-node `filtered`
+// flags: a filtered node is treated as removed by the matcher, the cycle
+// analyses, and extraction, mirroring the paper's filter list l (the ILP
+// constraint "x_i = 0 for i in l").
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "egraph/union_find.h"
+#include "lang/graph.h"
+#include "lang/shapes.h"
+
+namespace tensat {
+
+/// One e-node stored inside an e-class. `stamp` is the global insertion
+/// counter used by efficient cycle filtering to pick "the last node added"
+/// on a cycle; `filtered` marks membership in the filter list.
+struct EClassNode {
+  TNode node;
+  uint32_t stamp{0};
+  bool filtered{false};
+};
+
+struct EClass {
+  std::vector<EClassNode> nodes;
+  /// (parent e-node as inserted, parent class at insertion) — repaired lazily.
+  std::vector<std::pair<TNode, Id>> parents;
+  ValueInfo data;
+};
+
+class EGraph {
+ public:
+  /// Adds an e-node (children are e-class ids; they get canonicalized).
+  /// Returns nullopt if the analysis rejects it (shape check failure).
+  std::optional<Id> try_add(TNode node);
+
+  /// Adds an e-node that must be valid; throws on shape-check failure.
+  Id add(TNode node);
+
+  /// Adds every node reachable from `g`'s roots; returns graph-id -> class-id.
+  std::unordered_map<Id, Id> add_graph(const Graph& g);
+
+  /// Unions two e-classes. Returns true if they were distinct (a real merge).
+  /// The caller must rebuild() before relying on congruence invariants.
+  bool merge(Id a, Id b);
+
+  /// Restores the congruence and hash-consing invariants after merges.
+  void rebuild();
+
+  [[nodiscard]] Id find(Id id) const { return uf_.find(id); }
+  /// Canonicalizes an e-node's children.
+  [[nodiscard]] TNode canonicalize(TNode node) const;
+
+  [[nodiscard]] const EClass& eclass(Id id) const { return classes_[find(id)]; }
+  [[nodiscard]] const ValueInfo& data(Id id) const { return classes_[find(id)].data; }
+
+  /// Ids of all canonical (live) e-classes.
+  [[nodiscard]] std::vector<Id> canonical_classes() const;
+
+  /// Number of canonical e-classes.
+  [[nodiscard]] size_t num_classes() const;
+  /// Number of e-nodes, excluding filtered ones.
+  [[nodiscard]] size_t num_enodes() const;
+  /// Number of e-nodes including filtered ones (the paper's e-graph size).
+  [[nodiscard]] size_t num_enodes_total() const { return hashcons_.size(); }
+
+  /// Marks an e-node of `class_id` as filtered (adds it to the filter list).
+  /// `index` addresses eclass(class_id).nodes.
+  void set_filtered(Id class_id, size_t index);
+  [[nodiscard]] size_t num_filtered() const { return num_filtered_; }
+
+  /// Monotone counter bumped by every state change (add / merge); equal
+  /// versions before and after an exploration iteration mean saturation.
+  [[nodiscard]] uint64_t version() const { return version_; }
+
+  /// The designated root e-class (set after add_graph via set_root).
+  void set_root(Id id) { root_ = id; }
+  [[nodiscard]] Id root() const { return find(root_); }
+
+ private:
+  void repair(Id id);
+  static void join_data(ValueInfo& into, const ValueInfo& from);
+
+  UnionFind uf_;
+  // Deque: eclass()/data() references must survive later try_add() appends.
+  std::deque<EClass> classes_;
+  std::unordered_map<TNode, Id, TNodeHash> hashcons_;
+  std::vector<Id> pending_;
+  uint64_t version_{0};
+  uint32_t next_stamp_{0};
+  size_t num_filtered_{0};
+  Id root_{kInvalidId};
+};
+
+}  // namespace tensat

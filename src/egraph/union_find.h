@@ -1,0 +1,47 @@
+// Disjoint-set forest with path halving and union by size.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "lang/node.h"
+
+namespace tensat {
+
+class UnionFind {
+ public:
+  /// Creates a fresh singleton set; returns its id.
+  Id make_set() {
+    parent_.push_back(static_cast<Id>(parent_.size()));
+    size_.push_back(1);
+    return parent_.back();
+  }
+
+  [[nodiscard]] size_t size() const { return parent_.size(); }
+
+  Id find(Id x) const {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Unions the sets of a and b; returns the new representative.
+  Id unite(Id a, Id b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return a;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return a;
+  }
+
+ private:
+  mutable std::vector<Id> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace tensat

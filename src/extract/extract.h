@@ -1,0 +1,72 @@
+// Extraction phase (paper §5): pick one e-node per needed e-class so the
+// chosen graph minimizes total cost.
+//
+//  * Greedy: per-class best-subtree fixpoint (egg's default). Ignores
+//    sharing, so it can pick strictly worse graphs (paper §6.5 / Table 4).
+//  * ILP: the paper's formulation — binary x_i per e-node, root constraint
+//    (2), child-cover constraints (3), optionally the topological-order
+//    cycle constraints (4)-(5) with real or integer t_m. Filter-list
+//    e-nodes are pinned to x_i = 0 (we simply omit their variables).
+//    Solved by the in-repo branch & bound (ilp/milp.h), warm-started from
+//    the greedy solution.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "cost/cost.h"
+#include "egraph/egraph.h"
+#include "ilp/milp.h"
+
+namespace tensat {
+
+struct ExtractionResult {
+  bool ok{false};
+  Graph graph;  // concrete, single root
+  double cost{0.0};
+};
+
+/// Greedy extraction from the e-graph's root class.
+ExtractionResult extract_greedy(const EGraph& eg, const CostModel& model);
+
+struct IlpExtractOptions {
+  /// Include the acyclicity constraints (4)-(5). Leave off when the e-graph
+  /// was cycle-filtered during exploration (the paper's full approach).
+  bool cycle_constraints = false;
+  /// Integer-valued t_m (the paper's ablation) instead of real-valued.
+  bool integer_topo_vars = false;
+  double time_limit_s = 10.0;
+  /// Seed the MILP with the greedy solution as incumbent.
+  bool warm_start_with_greedy = true;
+  /// Refuse instances with more e-nodes than this (the dense-tableau LP
+  /// would exhaust memory); reported as timed_out, mirroring the paper's
+  /// ">1 hour" entries.
+  size_t max_instance_nodes = 2600;
+};
+
+struct IlpExtractionResult : ExtractionResult {
+  MilpStatus milp_status{MilpStatus::kNoSolution};
+  bool timed_out{false};
+  bool too_large{false};
+  double solve_seconds{0.0};
+  int bb_nodes{0};
+  double best_bound{0.0};  // proven lower bound from branch & bound
+  int lp_iterations{0};
+  size_t num_vars{0};
+  size_t num_rows{0};
+  /// True if the selected graph contained a cycle (possible only when
+  /// cycle_constraints are off and the e-graph was not filtered).
+  bool cyclic_selection{false};
+};
+
+/// ILP extraction from the e-graph's root class.
+IlpExtractionResult extract_ilp(const EGraph& eg, const CostModel& model,
+                                const IlpExtractOptions& options = {});
+
+/// Rebuilds a concrete Graph from a per-class e-node choice, starting at the
+/// root class. Returns nullopt if the selection is cyclic or incomplete.
+std::optional<Graph> build_selected_graph(
+    const EGraph& eg, Id root,
+    const std::unordered_map<Id, TNode>& selection);
+
+}  // namespace tensat

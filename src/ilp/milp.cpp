@@ -1,0 +1,257 @@
+#include "ilp/milp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "support/check.h"
+#include "support/timer.h"
+
+namespace tensat {
+namespace {
+
+/// One open subproblem: variable-bound overrides relative to the root LP,
+/// plus the parent's LP bound for best-first ordering.
+struct Node {
+  std::vector<std::pair<int, std::pair<double, double>>> bound_overrides;
+  double parent_bound{-kInf};
+  int depth{0};
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    return a.parent_bound > b.parent_bound;  // min-heap on bound
+  }
+};
+
+/// Picks the branching variable: among fractional masked variables, prefer
+/// high-stakes ones (fractionality weighted by objective magnitude), so the
+/// bound moves early in the tree.
+int pick_branch_var(const std::vector<double>& x, const std::vector<bool>& mask,
+                    const std::vector<double>& objective, double int_tol) {
+  int best = -1;
+  double best_score = 0.0;
+  for (size_t j = 0; j < x.size(); ++j) {
+    if (!mask[j]) continue;
+    const double frac = std::abs(x[j] - std::round(x[j]));
+    if (frac <= int_tol) continue;
+    const double score = frac * (1.0 + std::abs(objective[j]));
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(j);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MilpResult solve_milp(const LinearProgram& lp, const std::vector<bool>& integer_mask,
+                      const MilpOptions& options,
+                      const std::optional<std::vector<double>>& warm_start) {
+  TENSAT_CHECK(static_cast<int>(integer_mask.size()) == lp.num_vars(),
+               "integer mask size mismatch");
+  Timer timer;
+  MilpResult result;
+
+  if (warm_start.has_value()) {
+    TENSAT_CHECK(lp.feasible(*warm_start, 1e-5), "warm start is not feasible");
+    result.x = *warm_start;
+    result.objective = lp.objective_value(*warm_start);
+    result.status = MilpStatus::kFeasible;
+  }
+  double incumbent = warm_start ? result.objective : kInf;
+  // Effective pruning cutoff: absolute or relative gap, whichever is looser.
+  auto cutoff = [&] {
+    return incumbent - std::max(options.gap_tol, options.rel_gap * std::abs(incumbent));
+  };
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  open.push(Node{});
+  double explored_bound_floor = kInf;  // min bound among pruned-by-bound nodes
+  bool exhausted = true;
+
+  LinearProgram work = lp;  // bounds mutated per node and restored after
+
+  // LP-guided diving: starting from a fractional point, repeatedly fix the
+  // least-fractional integer variable to its nearest value and re-solve.
+  // Finds coordinated integer solutions (e.g. a whole merged-operator
+  // subtree) that single-shot rounding misses. Bounds in `work` must be at
+  // the current node's values on entry; they are restored on exit.
+  auto dive = [&](std::vector<double> x) {
+    std::vector<std::pair<int, std::pair<double, double>>> fixed;
+    auto fix = [&](int j, double v) {
+      fixed.emplace_back(j, std::make_pair(work.lower[j], work.upper[j]));
+      work.lower[j] = v;
+      work.upper[j] = v;
+    };
+    for (int depth = 0; depth < 60; ++depth) {
+      if (timer.seconds() > options.time_limit_s) break;
+      // Fix every near-integral variable at once ("vector diving"), plus the
+      // least-fractional remaining one — keeps dives to a handful of LPs.
+      int var = -1;
+      double best_frac = 1.0;
+      for (size_t j = 0; j < x.size(); ++j) {
+        if (!integer_mask[j]) continue;
+        const double frac = std::abs(x[j] - std::round(x[j]));
+        if (frac <= options.int_tol) continue;
+        if (frac < 0.05) {
+          fix(static_cast<int>(j), std::round(x[j]));
+        } else if (frac < best_frac) {
+          best_frac = frac;
+          var = static_cast<int>(j);
+        }
+      }
+      if (var < 0) {  // integral (after snapping): candidate incumbent
+        for (size_t j = 0; j < x.size(); ++j)
+          if (integer_mask[j]) x[j] = std::round(x[j]);
+        const double obj = lp.objective_value(x);
+        if (obj < incumbent && lp.feasible(x, 1e-6)) {
+          incumbent = obj;
+          result.x = x;
+          result.objective = obj;
+          result.status = MilpStatus::kFeasible;
+        }
+        break;
+      }
+      fix(var, std::round(x[var]));
+      const LpResult sub = solve_lp(work);
+      result.lp_iterations += sub.iterations;
+      if (sub.status != LpStatus::kOptimal || sub.objective >= incumbent) break;
+      x = sub.x;
+    }
+    for (auto it = fixed.rbegin(); it != fixed.rend(); ++it) {
+      work.lower[it->first] = it->second.first;
+      work.upper[it->first] = it->second.second;
+    }
+  };
+
+  while (!open.empty()) {
+    if (timer.seconds() > options.time_limit_s ||
+        result.nodes_explored >= options.max_nodes) {
+      result.timed_out = true;
+      exhausted = false;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (node.parent_bound >= cutoff()) {
+      // Best-first: every remaining node is at least as bad, so the
+      // incumbent is optimal.
+      while (!open.empty()) open.pop();
+      break;
+    }
+    ++result.nodes_explored;
+
+    // Apply node bounds.
+    for (const auto& [j, bounds] : node.bound_overrides) {
+      work.lower[j] = bounds.first;
+      work.upper[j] = bounds.second;
+    }
+    LpResult relax = solve_lp(work);
+    result.lp_iterations += relax.iterations;
+    // Restore root bounds.
+    for (const auto& [j, bounds] : node.bound_overrides) {
+      work.lower[j] = lp.lower[j];
+      work.upper[j] = lp.upper[j];
+    }
+
+    if (relax.status == LpStatus::kInfeasible) continue;
+    if (relax.status == LpStatus::kUnbounded) {
+      // An unbounded relaxation of a node: the MILP itself is unbounded or
+      // the formulation is broken; extraction LPs are always bounded.
+      TENSAT_FAIL("unbounded LP relaxation in branch & bound");
+    }
+    if (relax.status == LpStatus::kIterLimit) {
+      // Treat as unresolved: keep a conservative bound.
+      explored_bound_floor = std::min(explored_bound_floor, node.parent_bound);
+      exhausted = false;
+      continue;
+    }
+    if (relax.objective >= cutoff()) {
+      explored_bound_floor = std::min(explored_bound_floor, relax.objective);
+      continue;
+    }
+
+    const int branch_var =
+        pick_branch_var(relax.x, integer_mask, lp.objective, options.int_tol);
+
+    // Diving heuristic at the root and periodically afterwards (a dive costs
+    // tens of LP solves, so not at every node).
+    if (branch_var >= 0 &&
+        (result.nodes_explored == 1 || result.nodes_explored % 200 == 0)) {
+      dive(relax.x);
+    }
+
+    // Rounding heuristic: try to turn the fractional point into a feasible
+    // integer incumbent (cheap compared to the LP solve; big win when the
+    // warm start is far from optimal).
+    if (branch_var >= 0 && options.rounding) {
+      if (auto candidate = options.rounding(relax.x)) {
+        bool integral_ok = candidate->size() == static_cast<size_t>(lp.num_vars());
+        for (size_t j = 0; integral_ok && j < candidate->size(); ++j) {
+          if (integer_mask[j] &&
+              std::abs((*candidate)[j] - std::round((*candidate)[j])) > options.int_tol)
+            integral_ok = false;
+        }
+        if (integral_ok && lp.feasible(*candidate, 1e-6)) {
+          const double obj = lp.objective_value(*candidate);
+          if (obj < incumbent) {
+            incumbent = obj;
+            result.x = *candidate;
+            result.objective = obj;
+            result.status = MilpStatus::kFeasible;
+          }
+        }
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      incumbent = relax.objective;
+      result.x = relax.x;
+      // Snap near-integral values exactly.
+      for (size_t j = 0; j < result.x.size(); ++j)
+        if (integer_mask[j]) result.x[j] = std::round(result.x[j]);
+      result.objective = relax.objective;
+      result.status = MilpStatus::kFeasible;
+      continue;
+    }
+
+    // Branch: x_j <= floor(v)  |  x_j >= ceil(v).
+    const double v = relax.x[branch_var];
+    Node down = node;
+    down.parent_bound = relax.objective;
+    down.depth = node.depth + 1;
+    down.bound_overrides.emplace_back(
+        branch_var, std::make_pair(lp.lower[branch_var], std::floor(v)));
+    Node up = node;
+    up.parent_bound = relax.objective;
+    up.depth = node.depth + 1;
+    up.bound_overrides.emplace_back(
+        branch_var, std::make_pair(std::ceil(v), lp.upper[branch_var]));
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  result.seconds = timer.seconds();
+  // Lower bound: min over open/pruned frontier; if the search finished with
+  // an incumbent and nothing open, the incumbent is optimal.
+  double frontier = explored_bound_floor;
+  if (!open.empty()) frontier = std::min(frontier, open.top().parent_bound);
+  if (result.status == MilpStatus::kFeasible) {
+    if (exhausted && open.empty()) {
+      result.status = MilpStatus::kOptimal;
+      result.best_bound = result.objective;
+    } else {
+      result.best_bound = std::min(frontier, result.objective);
+    }
+  } else if (open.empty() && exhausted) {
+    result.status = MilpStatus::kInfeasible;
+  } else {
+    result.best_bound = (frontier == kInf) ? -kInf : frontier;
+  }
+  return result;
+}
+
+}  // namespace tensat

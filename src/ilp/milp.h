@@ -1,0 +1,61 @@
+// Mixed-integer linear programming by branch & bound over the LP relaxation
+// (ilp/lp.h's simplex). Stands in for SCIP in the paper's extraction phase.
+//
+// Features used by extraction: binary selection variables x_i, optional
+// continuous or integer topological-order variables t_m (paper §5.1
+// constraints (4)-(5)), warm-starting from a known feasible solution (the
+// greedy extraction), and a wall-clock time limit (the paper's 1-hour SCIP
+// timeout, scaled down).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ilp/lp.h"
+
+namespace tensat {
+
+enum class MilpStatus {
+  kOptimal,     // proven optimal
+  kFeasible,    // stopped early (time/node limit) with an incumbent
+  kInfeasible,  // no integer-feasible point exists
+  kNoSolution,  // stopped early with no incumbent found
+};
+
+struct MilpOptions {
+  double time_limit_s = 60.0;
+  int max_nodes = 2000000;
+  double int_tol = 1e-6;
+  /// Prune nodes whose bound is within this of the incumbent.
+  double gap_tol = 1e-9;
+  /// Relative MIP gap: stop when the bound is within rel_gap * |incumbent|.
+  /// The incumbent is then reported optimal (within tolerance), as MILP
+  /// solvers conventionally do.
+  double rel_gap = 1e-3;
+  /// Problem-specific rounding heuristic: maps a fractional LP solution to a
+  /// candidate integer point. Candidates are verified (feasibility +
+  /// integrality) before being accepted as incumbents. Optional.
+  std::function<std::optional<std::vector<double>>(const std::vector<double>&)>
+      rounding;
+};
+
+struct MilpResult {
+  MilpStatus status{MilpStatus::kNoSolution};
+  std::vector<double> x;
+  double objective{0.0};
+  double best_bound{-kInf};  // proven lower bound on the optimum
+  int nodes_explored{0};
+  int lp_iterations{0};
+  double seconds{0.0};
+  bool timed_out{false};
+};
+
+/// Solves min c.x over lp's constraints with x_j integral for every j with
+/// integer_mask[j]. `warm_start`, if given, must be integer-feasible and
+/// seeds the incumbent (its objective becomes the initial upper bound).
+MilpResult solve_milp(const LinearProgram& lp, const std::vector<bool>& integer_mask,
+                      const MilpOptions& options = {},
+                      const std::optional<std::vector<double>>& warm_start = std::nullopt);
+
+}  // namespace tensat

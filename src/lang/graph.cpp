@@ -1,0 +1,176 @@
+#include "lang/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace tensat {
+
+std::optional<Id> Graph::try_add(TNode node) {
+  TENSAT_CHECK(op_arity(node.op) == static_cast<int>(node.children.size()),
+               "arity mismatch for " << op_info(node.op).name << ": got "
+                                     << node.children.size());
+  for (Id c : node.children)
+    TENSAT_CHECK(c >= 0 && c < static_cast<Id>(nodes_.size()),
+                 "child id out of range: " << c);
+  auto it = memo_.find(node);
+  if (it != memo_.end()) return it->second;
+
+  ValueInfo info;
+  if (kind_ == GraphKind::kConcrete) {
+    TENSAT_CHECK(node.op != Op::kVar, "kVar node in a concrete graph");
+    std::vector<ValueInfo> inputs;
+    inputs.reserve(node.children.size());
+    for (Id c : node.children) inputs.push_back(infos_[c]);
+    auto inferred = infer(node, inputs);
+    if (!inferred.has_value()) return std::nullopt;
+    info = std::move(*inferred);
+  }
+
+  const Id id = static_cast<Id>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  infos_.push_back(std::move(info));
+  memo_.emplace(nodes_.back(), id);
+  return id;
+}
+
+Id Graph::add(TNode node) {
+  const Op op = node.op;
+  auto id = try_add(std::move(node));
+  TENSAT_CHECK(id.has_value(), "shape check failed adding " << op_info(op).name);
+  return *id;
+}
+
+Id Graph::input(std::string_view name, const std::vector<int32_t>& dims) {
+  return add({Op::kInput, 0, {}, {str(format_tensor_id(name, dims))}});
+}
+
+Id Graph::weight(std::string_view name, const std::vector<int32_t>& dims) {
+  return add({Op::kWeight, 0, {}, {str(format_tensor_id(name, dims))}});
+}
+
+Id Graph::concat(int32_t axis, const std::vector<Id>& inputs) {
+  TENSAT_CHECK(inputs.size() >= 2 && inputs.size() <= 5,
+               "concat supports 2..5 inputs, got " << inputs.size());
+  static constexpr Op kOps[] = {Op::kConcat2, Op::kConcat3, Op::kConcat4, Op::kConcat5};
+  TNode n{kOps[inputs.size() - 2], 0, {}, {num(axis)}};
+  n.children.insert(n.children.end(), inputs.begin(), inputs.end());
+  return add(std::move(n));
+}
+
+void Graph::add_root(Id id) {
+  TENSAT_CHECK(id >= 0 && id < static_cast<Id>(nodes_.size()), "bad root id");
+  roots_.push_back(id);
+}
+
+Id Graph::single_root() {
+  TENSAT_CHECK(!roots_.empty(), "graph has no roots");
+  if (roots_.size() == 1) return roots_[0];
+  Id combined = roots_[0];
+  for (size_t i = 1; i < roots_.size(); ++i) combined = noop(combined, roots_[i]);
+  roots_ = {combined};
+  return combined;
+}
+
+std::vector<Id> Graph::topo_order() const {
+  std::vector<Id> order;
+  std::vector<int8_t> state(nodes_.size(), 0);  // 0=unvisited, 1=visiting, 2=done
+  // Iterative DFS; children pushed before the node is emitted.
+  std::vector<std::pair<Id, size_t>> stack;
+  for (Id root : roots_) {
+    if (state[root] == 2) continue;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [id, next_child] = stack.back();
+      if (state[id] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      state[id] = 1;
+      if (next_child < nodes_[id].children.size()) {
+        const Id child = nodes_[id].children[next_child++];
+        if (state[child] != 2) stack.emplace_back(child, 0);
+      } else {
+        state[id] = 2;
+        order.push_back(id);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+std::string Graph::to_sexpr(Id id) const {
+  const TNode& n = nodes_[id];
+  switch (n.op) {
+    case Op::kNum:
+      return std::to_string(n.num);
+    case Op::kStr:
+      return n.str.str();
+    case Op::kVar:
+      return "?" + n.str.str();
+    default: {
+      std::string out = "(";
+      out += op_info(n.op).name;
+      for (Id c : n.children) {
+        out.push_back(' ');
+        out += to_sexpr(c);
+      }
+      out.push_back(')');
+      return out;
+    }
+  }
+}
+
+std::string Graph::canonical_key() const {
+  // Serialize reachable nodes with ids renumbered in first-visit DFS order
+  // from the roots; two isomorphic rooted hash-consed DAGs produce identical
+  // serializations because child traversal order is deterministic.
+  std::unordered_map<Id, int> renumber;
+  std::ostringstream os;
+  std::vector<std::pair<Id, size_t>> stack;
+  std::vector<std::string> lines;
+  auto visit = [&](Id root) {
+    std::vector<Id> dfs;
+    dfs.push_back(root);
+    while (!dfs.empty()) {
+      Id id = dfs.back();
+      dfs.pop_back();
+      if (renumber.count(id)) continue;
+      // Emit children first (postorder via two-phase push).
+      bool ready = true;
+      for (Id c : nodes_[id].children)
+        if (!renumber.count(c)) ready = false;
+      if (!ready) {
+        dfs.push_back(id);
+        for (auto it = nodes_[id].children.rbegin(); it != nodes_[id].children.rend(); ++it)
+          if (!renumber.count(*it)) dfs.push_back(*it);
+        continue;
+      }
+      const int new_id = static_cast<int>(renumber.size());
+      renumber.emplace(id, new_id);
+      const TNode& n = nodes_[id];
+      std::string line = std::to_string(new_id);
+      line += '=';
+      line += op_info(n.op).name;
+      if (n.op == Op::kNum) line += ":" + std::to_string(n.num);
+      if (n.op == Op::kStr || n.op == Op::kVar) line += ":" + n.str.str();
+      for (Id c : n.children) line += " " + std::to_string(renumber.at(c));
+      lines.push_back(std::move(line));
+    }
+  };
+  for (Id root : roots_) visit(root);
+  for (const auto& line : lines) os << line << '\n';
+  os << "roots:";
+  for (Id root : roots_) os << ' ' << renumber.at(root);
+  return os.str();
+}
+
+std::unordered_map<Op, int> Graph::op_histogram() const {
+  std::unordered_map<Op, int> hist;
+  for (Id id : topo_order()) ++hist[nodes_[id].op];
+  return hist;
+}
+
+}  // namespace tensat

@@ -1,0 +1,45 @@
+// TNode: one operator node. The same struct serves three roles:
+//   * a node in a concrete tensor computation graph (children = node ids),
+//   * an e-node in the e-graph (children = e-class ids),
+//   * a node in a rewrite pattern (kVar leaves allowed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lang/op.h"
+#include "support/hash.h"
+#include "support/symbol.h"
+
+namespace tensat {
+
+/// Index of a node within a Graph, or of an e-class within an EGraph.
+using Id = int32_t;
+inline constexpr Id kInvalidId = -1;
+
+struct TNode {
+  Op op{Op::kNum};
+  int64_t num{0};            // payload when op == kNum
+  Symbol str{};              // payload when op == kStr or kVar
+  std::vector<Id> children{};
+
+  friend bool operator==(const TNode& a, const TNode& b) {
+    return a.op == b.op && a.num == b.num && a.str == b.str && a.children == b.children;
+  }
+};
+
+struct TNodeHash {
+  size_t operator()(const TNode& n) const {
+    size_t seed = static_cast<size_t>(n.op);
+    hash_combine_value(seed, n.num);
+    hash_combine_value(seed, n.str.id());
+    for (Id c : n.children) hash_combine_value(seed, c);
+    return seed;
+  }
+};
+
+inline TNode make_num(int64_t value) { return TNode{Op::kNum, value, Symbol(), {}}; }
+inline TNode make_str(Symbol s) { return TNode{Op::kStr, 0, s, {}}; }
+inline TNode make_var(Symbol name) { return TNode{Op::kVar, 0, name, {}}; }
+
+}  // namespace tensat

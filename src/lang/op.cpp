@@ -1,0 +1,120 @@
+#include "lang/op.h"
+
+#include <array>
+#include <charconv>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace tensat {
+namespace {
+
+using A = ArgKind;
+
+std::array<OpInfo, static_cast<size_t>(Op::kOpCount)> build_table() {
+  std::array<OpInfo, static_cast<size_t>(Op::kOpCount)> t{};
+  auto set = [&](Op op, const char* name, std::vector<ArgKind> sig, ArgKind out) {
+    t[static_cast<size_t>(op)] = OpInfo{name, std::move(sig), out};
+  };
+  set(Op::kEwadd, "ewadd", {A::kT, A::kT}, A::kT);
+  set(Op::kEwmul, "ewmul", {A::kT, A::kT}, A::kT);
+  set(Op::kMatmul, "matmul", {A::kN, A::kT, A::kT}, A::kT);
+  set(Op::kConv, "conv", {A::kN, A::kN, A::kN, A::kN, A::kT, A::kT}, A::kT);
+  set(Op::kRelu, "relu", {A::kT}, A::kT);
+  set(Op::kTanh, "tanh", {A::kT}, A::kT);
+  set(Op::kSigmoid, "sigmoid", {A::kT}, A::kT);
+  set(Op::kPoolmax, "poolmax", {A::kT, A::kN, A::kN, A::kN, A::kN, A::kN, A::kN}, A::kT);
+  set(Op::kPoolavg, "poolavg", {A::kT, A::kN, A::kN, A::kN, A::kN, A::kN, A::kN}, A::kT);
+  set(Op::kTranspose, "transpose", {A::kT, A::kS}, A::kT);
+  set(Op::kEnlarge, "enlarge", {A::kT, A::kT}, A::kT);
+  set(Op::kConcat2, "concat2", {A::kN, A::kT, A::kT}, A::kT);
+  set(Op::kConcat3, "concat3", {A::kN, A::kT, A::kT, A::kT}, A::kT);
+  set(Op::kConcat4, "concat4", {A::kN, A::kT, A::kT, A::kT, A::kT}, A::kT);
+  set(Op::kConcat5, "concat5", {A::kN, A::kT, A::kT, A::kT, A::kT, A::kT}, A::kT);
+  set(Op::kSplit, "split", {A::kN, A::kT}, A::kTT);
+  set(Op::kSplit0, "split0", {A::kTT}, A::kT);
+  set(Op::kSplit1, "split1", {A::kTT}, A::kT);
+  set(Op::kMerge, "merge", {A::kT, A::kN}, A::kT);
+  set(Op::kReshape, "reshape", {A::kT, A::kS}, A::kT);
+  set(Op::kInput, "input", {A::kS}, A::kT);
+  set(Op::kWeight, "weight", {A::kS}, A::kT);
+  set(Op::kNoop, "noop", {A::kT, A::kT}, A::kT);
+  set(Op::kNum, "num", {}, A::kN);
+  set(Op::kStr, "str", {}, A::kS);
+  set(Op::kVar, "var", {}, A::kT);
+  return t;
+}
+
+const std::array<OpInfo, static_cast<size_t>(Op::kOpCount)>& table() {
+  static const auto* t = new std::array<OpInfo, static_cast<size_t>(Op::kOpCount)>(build_table());
+  return *t;
+}
+
+const std::unordered_map<std::string_view, Op>& name_map() {
+  static const auto* m = [] {
+    auto* map = new std::unordered_map<std::string_view, Op>();
+    for (size_t i = 0; i < static_cast<size_t>(Op::kOpCount); ++i) {
+      const Op op = static_cast<Op>(i);
+      if (!op_is_leaf(op)) map->emplace(table()[i].name, op);
+    }
+    return map;
+  }();
+  return *m;
+}
+
+}  // namespace
+
+const OpInfo& op_info(Op op) { return table()[static_cast<size_t>(op)]; }
+
+std::optional<Op> op_from_name(std::string_view name) {
+  auto it = name_map().find(name);
+  if (it == name_map().end()) return std::nullopt;
+  return it->second;
+}
+
+int op_arity(Op op) { return static_cast<int>(op_info(op).sig.size()); }
+
+bool op_is_leaf(Op op) {
+  return op == Op::kNum || op == Op::kStr || op == Op::kVar;
+}
+
+std::vector<int32_t> parse_dims(std::string_view text) {
+  std::vector<int32_t> dims;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('_', pos);
+    if (end == std::string_view::npos) end = text.size();
+    int32_t value = 0;
+    const auto piece = text.substr(pos, end - pos);
+    auto [ptr, ec] = std::from_chars(piece.data(), piece.data() + piece.size(), value);
+    TENSAT_CHECK(ec == std::errc() && ptr == piece.data() + piece.size(),
+                 "malformed dimension list: '" << text << "'");
+    dims.push_back(value);
+    pos = end + 1;
+  }
+  return dims;
+}
+
+std::string format_dims(std::span<const int32_t> dims) {
+  std::string out;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) out.push_back('_');
+    out += std::to_string(dims[i]);
+  }
+  return out;
+}
+
+std::pair<std::string, std::vector<int32_t>> parse_tensor_id(std::string_view id) {
+  const size_t at = id.find('@');
+  TENSAT_CHECK(at != std::string_view::npos, "tensor identifier missing '@': '" << id << "'");
+  return {std::string(id.substr(0, at)), parse_dims(id.substr(at + 1))};
+}
+
+std::string format_tensor_id(std::string_view name, std::span<const int32_t> dims) {
+  std::string out(name);
+  out.push_back('@');
+  out += format_dims(dims);
+  return out;
+}
+
+}  // namespace tensat

@@ -1,0 +1,105 @@
+// The tensor-graph operator set, following Table 2 of the paper
+// "Equality Saturation for Tensor Graph Superoptimization" (MLSys 2021).
+//
+// Node types: tensor (T), integer (N), string (S), tensor tuple (TT).
+// Integers encode operator parameters (stride, axis, padding and activation
+// modes); strings encode variable-length parameters (shape, permutation,
+// tensor identifiers). Both are themselves nodes (leaves) in the graph.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tensat {
+
+enum class Op : uint8_t {
+  kEwadd,      // element-wise addition             (T, T) -> T
+  kEwmul,      // element-wise multiplication       (T, T) -> T
+  kMatmul,     // matrix multiplication             (N, T, T) -> T  [activation, a, b]
+  kConv,       // grouped convolution               (N, N, N, N, T, T) -> T
+               //   [stride_h, stride_w, padding, activation, input, weight]
+  kRelu,       // relu activation                   (T) -> T
+  kTanh,       // tanh activation                   (T) -> T
+  kSigmoid,    // sigmoid activation                (T) -> T
+  kPoolmax,    // max pooling                       (T, N, N, N, N, N, N) -> T
+               //   [input, kernel_h, kernel_w, stride_h, stride_w, padding, activation]
+  kPoolavg,    // average pooling                   same signature as kPoolmax
+  kTranspose,  // axis permutation                  (T, S) -> T
+  kEnlarge,    // zero-pad a conv kernel to the spatial size of a reference kernel
+               //                                   (T, T) -> T  [input, ref_input]
+  kConcat2,    // concatenate along an axis         (N, T, T) -> T
+  kConcat3,    //                                   (N, T, T, T) -> T
+  kConcat4,    //                                   (N, T, T, T, T) -> T
+  kConcat5,    //                                   (N, T, T, T, T, T) -> T
+  kSplit,      // split a tensor in two at the most recent concat boundary
+               //                                   (N, T) -> TT  [axis, input]
+  kSplit0,     // first output of a split           (TT) -> T
+  kSplit1,     // second output of a split          (TT) -> T
+  kMerge,      // merge every `count` groups of a grouped-conv weight
+               //                                   (T, N) -> T  [weight, count]
+  kReshape,    // reshape to the shape encoded in the string child
+               //                                   (T, S) -> T
+  kInput,      // input tensor; identifier "name@d1_d2_..."   (S) -> T
+  kWeight,     // weight tensor; identifier "name@d1_d2_..."  (S) -> T
+  kNoop,       // combines graph outputs to make the graph single-rooted
+               //                                   (T, T) -> T
+  kNum,        // integer literal leaf (payload in TNode::num)
+  kStr,        // string literal leaf (payload in TNode::str)
+  kVar,        // pattern variable leaf (patterns only; payload in TNode::str)
+  kOpCount,
+};
+
+/// Argument/value node types (paper Table 2's T / N / S / TT).
+enum class ArgKind : uint8_t { kT, kN, kS, kTT };
+
+/// Activation modes carried by kNum parameter nodes.
+enum Activation : int64_t {
+  kActNone = 0,
+  kActRelu = 1,
+  kActTanh = 2,
+  kActSigmoid = 3,
+};
+
+/// Padding modes carried by kNum parameter nodes.
+enum Padding : int64_t {
+  kPadSame = 0,
+  kPadValid = 1,
+};
+
+struct OpInfo {
+  const char* name;             // S-expression head
+  std::vector<ArgKind> sig;     // input node types, in order
+  ArgKind out;                  // output node type
+};
+
+/// Metadata for `op` (name, signature). Total for every Op except the leaves'
+/// signature entries, which are empty.
+const OpInfo& op_info(Op op);
+
+/// S-expression head -> Op, or nullopt for unknown names. Leaves (kNum, kStr,
+/// kVar) have no head and are not returned here.
+std::optional<Op> op_from_name(std::string_view name);
+
+/// Number of children `op` expects.
+int op_arity(Op op);
+
+/// True for kNum / kStr / kVar.
+bool op_is_leaf(Op op);
+
+/// Splits "2_3_4" into {2,3,4}. Throws tensat::Error on malformed input.
+std::vector<int32_t> parse_dims(std::string_view text);
+
+/// Joins {2,3,4} into "2_3_4".
+std::string format_dims(std::span<const int32_t> dims);
+
+/// Splits a tensor identifier "name@d1_d2" into its name and dims.
+std::pair<std::string, std::vector<int32_t>> parse_tensor_id(std::string_view id);
+
+/// Builds a tensor identifier "name@d1_d2_...".
+std::string format_tensor_id(std::string_view name, std::span<const int32_t> dims);
+
+}  // namespace tensat

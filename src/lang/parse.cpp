@@ -1,0 +1,89 @@
+#include "lang/parse.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "support/check.h"
+
+namespace tensat {
+namespace {
+
+struct Parser {
+  Graph& g;
+  std::string_view text;
+  size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  std::string_view token() {
+    skip_ws();
+    TENSAT_CHECK(pos < text.size(), "unexpected end of input");
+    const size_t start = pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '(' || c == ')') break;
+      ++pos;
+    }
+    TENSAT_CHECK(pos > start, "empty token at offset " << start);
+    return text.substr(start, pos - start);
+  }
+
+  Id parse_expr() {
+    skip_ws();
+    TENSAT_CHECK(pos < text.size(), "unexpected end of input");
+    if (text[pos] != '(') return parse_atom();
+    ++pos;  // consume '('
+    const std::string_view head = token();
+    const auto op = op_from_name(head);
+    TENSAT_CHECK(op.has_value(), "unknown operator '" << head << "'");
+    TNode node{*op, 0, {}, {}};
+    while (true) {
+      skip_ws();
+      TENSAT_CHECK(pos < text.size(), "missing ')' for (" << head);
+      if (text[pos] == ')') {
+        ++pos;
+        break;
+      }
+      node.children.push_back(parse_expr());
+    }
+    return g.add(std::move(node));
+  }
+
+  Id parse_atom() {
+    const std::string_view tok = token();
+    if (tok[0] == '?') {
+      TENSAT_CHECK(tok.size() > 1, "empty variable name");
+      return g.var(tok.substr(1));
+    }
+    int64_t value = 0;
+    auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), value);
+    if (ec == std::errc() && ptr == tok.data() + tok.size()) return g.num(value);
+    return g.str(tok);
+  }
+};
+
+}  // namespace
+
+Id parse_into(Graph& g, std::string_view text) {
+  Parser p{g, text};
+  const Id id = p.parse_expr();
+  TENSAT_CHECK(p.at_end(), "trailing input after expression");
+  return id;
+}
+
+std::vector<Id> parse_all_into(Graph& g, std::string_view text) {
+  Parser p{g, text};
+  std::vector<Id> roots;
+  while (!p.at_end()) roots.push_back(p.parse_expr());
+  TENSAT_CHECK(!roots.empty(), "no expressions in input");
+  return roots;
+}
+
+}  // namespace tensat

@@ -1,0 +1,27 @@
+// S-expression parser for patterns and small graphs (paper §3.2).
+//
+// Grammar:   expr  := atom | '(' head expr* ')'
+//            atom  := integer        -> kNum leaf
+//                   | '?'name        -> kVar leaf (pattern graphs only)
+//                   | text           -> kStr leaf
+//            head  := an operator name from Table 2 (e.g. "matmul")
+//
+// Example:   (split0 (split 1 (matmul 0 ?a (concat2 1 ?b ?c))))
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/graph.h"
+
+namespace tensat {
+
+/// Parses one expression into `g` and returns its root id. Throws
+/// tensat::Error on malformed input.
+Id parse_into(Graph& g, std::string_view text);
+
+/// Parses a whitespace-separated sequence of expressions (a multi-output
+/// pattern) into `g`, returning the root of each, in order.
+std::vector<Id> parse_all_into(Graph& g, std::string_view text);
+
+}  // namespace tensat

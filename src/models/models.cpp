@@ -1,0 +1,267 @@
+#include "models/models.h"
+
+#include "support/check.h"
+
+namespace tensat {
+namespace {
+
+/// Unique weight names within one graph.
+struct Namer {
+  int counter = 0;
+  std::string next(const std::string& prefix) {
+    return prefix + "_" + std::to_string(counter++);
+  }
+};
+
+Id conv_layer(Graph& g, Namer& n, Id x, int cout, int kh, int kw, int stride = 1,
+              Padding pad = kPadSame, bool with_relu = true, int groups = 1) {
+  const ValueInfo& xi = g.info(x);
+  TENSAT_CHECK(xi.rank() == 4, "conv_layer expects NCHW input");
+  const int cin = xi.shape[1];
+  TENSAT_CHECK(cin % groups == 0 && cout % groups == 0, "bad group count");
+  const Id w = g.weight(n.next("w"), {cout, cin / groups, kh, kw});
+  Id out = g.conv(x, w, stride, stride, pad, kActNone);
+  if (with_relu) out = g.relu(out);
+  return out;
+}
+
+Id fc_layer(Graph& g, Namer& n, Id x, int out_dim, bool with_relu) {
+  const ValueInfo& xi = g.info(x);
+  const Id w = g.weight(n.next("fc"), {xi.shape[xi.rank() - 1], out_dim});
+  Id out = g.matmul(x, w);
+  if (with_relu) out = g.relu(out);
+  return out;
+}
+
+}  // namespace
+
+Graph make_bert(int layers, int seq, int hidden) {
+  Graph g;
+  Namer n;
+  Id x = g.input("x", {seq, hidden});
+  for (int l = 0; l < layers; ++l) {
+    // Self-attention: Q/K/V projections share the input x (paper Fig. 8).
+    const Id wq = g.weight(n.next("wq"), {hidden, hidden});
+    const Id wk = g.weight(n.next("wk"), {hidden, hidden});
+    const Id wv = g.weight(n.next("wv"), {hidden, hidden});
+    const Id wo = g.weight(n.next("wo"), {hidden, hidden});
+    const Id q = g.matmul(x, wq);
+    const Id k = g.matmul(x, wk);
+    const Id v = g.matmul(x, wv);
+    const Id scores = g.matmul(q, g.transpose(k, {1, 0}));
+    const Id ctx = g.matmul(scores, v);
+    const Id att = g.matmul(ctx, wo);
+    x = g.ewadd(x, att);
+    // Feed-forward block.
+    const Id h = fc_layer(g, n, x, 4 * hidden, /*with_relu=*/true);
+    x = g.ewadd(x, fc_layer(g, n, h, hidden, /*with_relu=*/false));
+  }
+  g.add_root(x);
+  return g;
+}
+
+Graph make_nasrnn(int steps, int batch, int hidden, int gates) {
+  Graph g;
+  Namer n;
+  Id h = g.input("h0", {batch, hidden});
+  for (int t = 0; t < steps; ++t) {
+    const Id x = g.input("x" + std::to_string(t), {batch, hidden});
+    // Eight gates, each a pair of matmuls — eight matmuls share x and eight
+    // share h (paper Fig. 11's motif).
+    std::vector<Id> gate_outputs;
+    static constexpr Activation kActs[8 > 0 ? 8 : 1] = {kActRelu,    kActSigmoid, kActTanh,
+                                            kActSigmoid, kActTanh,    kActSigmoid,
+                                            kActRelu,    kActTanh};
+    for (int i = 0; i < gates; ++i) {
+      const Id wx = g.weight(n.next("wx"), {hidden, hidden});
+      const Id wh = g.weight(n.next("wh"), {hidden, hidden});
+      const Id u = g.ewadd(g.matmul(x, wx), g.matmul(h, wh));
+      Id c = u;
+      switch (kActs[i % 8]) {
+        case kActRelu:
+          c = g.relu(u);
+          break;
+        case kActSigmoid:
+          c = g.sigmoid(u);
+          break;
+        case kActTanh:
+          c = g.tanh(u);
+          break;
+        default:
+          break;
+      }
+      gate_outputs.push_back(c);
+    }
+    // Combine gates pairwise (alternating mul/add), then reduce to h.
+    std::vector<Id> level = gate_outputs;
+    bool use_mul = true;
+    while (level.size() > 1) {
+      std::vector<Id> next;
+      for (size_t i = 0; i + 1 < level.size(); i += 2) {
+        next.push_back(use_mul ? g.ewmul(level[i], level[i + 1])
+                               : g.ewadd(level[i], level[i + 1]));
+        use_mul = !use_mul;
+      }
+      if (level.size() % 2 == 1) next.push_back(level.back());
+      level = std::move(next);
+    }
+    h = g.tanh(level[0]);
+  }
+  g.add_root(h);
+  return g;
+}
+
+Graph make_resnext50(int blocks, int channels, int hw, int groups) {
+  Graph g;
+  Namer n;
+  Id x = g.input("x", {1, channels, hw, hw});
+  for (int b = 0; b < blocks; ++b) {
+    const int mid = channels / 2;
+    Id y = conv_layer(g, n, x, mid, 1, 1);
+    y = conv_layer(g, n, y, mid, 3, 3, 1, kPadSame, true, groups);
+    y = conv_layer(g, n, y, channels, 1, 1, 1, kPadSame, /*with_relu=*/false);
+    x = g.relu(g.ewadd(x, y));
+  }
+  x = g.poolavg(x, 2, 2, 2, 2, kPadValid);
+  g.add_root(x);
+  return g;
+}
+
+namespace {
+
+/// Separable convolution: depthwise (groups == channels) then pointwise.
+Id sep_conv(Graph& g, Namer& n, Id x, int channels) {
+  const Id dw = g.weight(n.next("dw"), {channels, 1, 3, 3});
+  const Id pw = g.weight(n.next("pw"), {channels, channels, 1, 1});
+  return g.conv(g.conv(x, dw, 1, 1, kPadSame), pw, 1, 1, kPadSame);
+}
+
+}  // namespace
+
+Graph make_nasnet_a(int cells, int channels, int hw) {
+  Graph g;
+  Namer n;
+  Id stem = conv_layer(g, n, g.input("x", {1, 3, hw, hw}), channels, 3, 3);
+  Id prev = stem;
+  Id cur = stem;
+  for (int c = 0; c < cells; ++c) {
+    // A normal cell: five branch combinations, concatenated (scaled-down
+    // NasNet-A; the real cell has the same shape with more branches).
+    const Id b1 = g.ewadd(sep_conv(g, n, cur, channels), cur);
+    const Id b2 = g.ewadd(sep_conv(g, n, prev, channels), sep_conv(g, n, cur, channels));
+    const Id b3 = g.ewadd(g.poolavg(cur, 3, 3, 1, 1, kPadSame), prev);
+    const Id b4 = g.ewadd(g.poolavg(prev, 3, 3, 1, 1, kPadSame),
+                          g.poolmax(prev, 3, 3, 1, 1, kPadSame));
+    const Id cat = g.concat(1, {b1, b2, b3, b4});  // 4*channels
+    // Project back down so cells compose.
+    const Id next = conv_layer(g, n, cat, channels, 1, 1);
+    prev = cur;
+    cur = next;
+  }
+  g.add_root(cur);
+  return g;
+}
+
+Graph make_squeezenet(int fires, int channels, int hw) {
+  Graph g;
+  Namer n;
+  Id x = conv_layer(g, n, g.input("x", {1, 3, hw, hw}), channels, 3, 3, 2);
+  for (int f = 0; f < fires; ++f) {
+    // Fire module: squeeze 1x1, then parallel expand 1x1 / 3x3 sharing the
+    // squeezed input (paper Fig. 9's motif), concatenated over channels.
+    const int squeeze = channels / 4;
+    const int expand = channels / 2;
+    const Id s = conv_layer(g, n, x, squeeze, 1, 1);
+    const Id e1 = conv_layer(g, n, s, expand, 1, 1);
+    const Id e3 = conv_layer(g, n, s, expand, 3, 3);
+    x = g.concat(1, {e1, e3});
+    if (f == fires / 2) x = g.poolmax(x, 2, 2, 2, 2, kPadValid);
+  }
+  x = conv_layer(g, n, x, channels, 1, 1);
+  x = g.poolavg(x, g.info(x).shape[2], g.info(x).shape[3], 1, 1, kPadValid);
+  g.add_root(x);
+  return g;
+}
+
+Graph make_vgg19(int base_channels, int hw) {
+  Graph g;
+  Namer n;
+  Id x = g.input("x", {1, 3, hw, hw});
+  const int block_convs[5] = {2, 2, 4, 4, 4};
+  int c = base_channels;
+  for (int b = 0; b < 5; ++b) {
+    for (int k = 0; k < block_convs[b]; ++k) x = conv_layer(g, n, x, c, 3, 3);
+    x = g.poolmax(x, 2, 2, 2, 2, kPadValid);
+    if (b < 3) c *= 2;
+  }
+  const ValueInfo& xi = g.info(x);
+  x = g.reshape(x, {1, static_cast<int32_t>(xi.volume())});
+  x = fc_layer(g, n, x, 4 * c, true);
+  x = fc_layer(g, n, x, 4 * c, true);
+  x = fc_layer(g, n, x, 10, false);
+  g.add_root(x);
+  return g;
+}
+
+Graph make_inception_v3(int modules, int channels, int hw) {
+  Graph g;
+  Namer n;
+  Id x = conv_layer(g, n, g.input("x", {1, 3, hw, hw}), channels, 3, 3, 2);
+  for (int m = 0; m < modules; ++m) {
+    // Inception-A-style module: four parallel branches from a shared input
+    // (1x1 / 5x5 / double-3x3 / pooled-1x1), concatenated over channels.
+    const int b = channels / 4;
+    const Id b1 = conv_layer(g, n, x, b, 1, 1);
+    const Id b2 = conv_layer(g, n, conv_layer(g, n, x, b, 1, 1), b, 5, 5);
+    const Id b3 =
+        conv_layer(g, n, conv_layer(g, n, conv_layer(g, n, x, b, 1, 1), b, 3, 3), b, 3, 3);
+    const Id b4 = conv_layer(g, n, g.poolavg(x, 3, 3, 1, 1, kPadSame), b, 1, 1);
+    x = g.concat(1, {b1, b2, b3, b4});
+  }
+  x = g.poolavg(x, 2, 2, 2, 2, kPadValid);
+  g.add_root(x);
+  return g;
+}
+
+Graph make_resnet50(int blocks, int channels, int hw) {
+  Graph g;
+  Namer n;
+  Id x = conv_layer(g, n, g.input("x", {1, 3, hw, hw}), channels, 3, 3);
+  for (int b = 0; b < blocks; ++b) {
+    const int mid = channels / 4;
+    Id y = conv_layer(g, n, x, mid, 1, 1);
+    y = conv_layer(g, n, y, mid, 3, 3);
+    y = conv_layer(g, n, y, channels, 1, 1, 1, kPadSame, /*with_relu=*/false);
+    x = g.relu(g.ewadd(x, y));
+  }
+  x = g.poolavg(x, 2, 2, 2, 2, kPadValid);
+  g.add_root(x);
+  return g;
+}
+
+std::vector<ModelInfo> paper_models() {
+  std::vector<ModelInfo> models;
+  models.push_back({"NasRNN", make_nasrnn(3, 16, 512, 4)});
+  models.push_back({"BERT", make_bert(4, 64, 512)});
+  models.push_back({"ResNeXt-50", make_resnext50(3, 64, 28, 8)});
+  models.push_back({"NasNet-A", make_nasnet_a(2, 32, 28)});
+  models.push_back({"SqueezeNet", make_squeezenet(4, 32, 32)});
+  models.push_back({"VGG-19", make_vgg19(16, 32)});
+  models.push_back({"Inception-v3", make_inception_v3(3, 64, 28)});
+  return models;
+}
+
+std::vector<ModelInfo> tiny_models() {
+  std::vector<ModelInfo> models;
+  models.push_back({"NasRNN", make_nasrnn(1, 2, 8)});
+  models.push_back({"BERT", make_bert(1, 4, 8)});
+  models.push_back({"ResNeXt-50", make_resnext50(1, 8, 8, 2)});
+  models.push_back({"NasNet-A", make_nasnet_a(1, 4, 8)});
+  models.push_back({"SqueezeNet", make_squeezenet(1, 8, 8)});
+  models.push_back({"VGG-19", make_vgg19(2, 32)});
+  models.push_back({"Inception-v3", make_inception_v3(1, 8, 8)});
+  models.push_back({"ResNet-50", make_resnet50(1, 8, 8)});
+  return models;
+}
+
+}  // namespace tensat

@@ -1,0 +1,254 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+
+#include "cycles/cycles.h"
+#include "rewrite/matcher.h"
+#include "rewrite/multi.h"
+#include "support/check.h"
+#include "support/timer.h"
+
+namespace tensat {
+namespace {
+
+/// One pending application: the rule, the per-source matched root classes,
+/// and the combined substitution.
+struct Application {
+  const Rewrite* rule;
+  std::vector<Id> src_classes;
+  Subst subst;
+};
+
+/// Applies one substitution with the configured cycle handling. Returns true
+/// if the e-graph changed.
+bool apply_one(EGraph& eg, const Application& app, CycleFilterMode mode,
+               const DescendantsMap* dmap) {
+  const Rewrite& rule = *app.rule;
+
+  // Rule condition on the matched variables' analysis data.
+  if (rule.cond) {
+    auto lookup = [&](Symbol var) -> const ValueInfo& {
+      auto bound = app.subst.get(var);
+      TENSAT_CHECK(bound.has_value(), "condition references unbound ?" << var.str());
+      return eg.data(*bound);
+    };
+    if (!rule.check_cond(lookup)) return false;
+  }
+
+  // Efficient pre-filter (Algorithm 2, lines 3-9): skip the substitution if
+  // a matched class is a descendant of (or is) a class we would merge into.
+  if (mode == CycleFilterMode::kEfficient && dmap != nullptr) {
+    for (Id src : app.src_classes) {
+      const Id a = eg.find(src);
+      for (const auto& [var, cls] : app.subst.bindings()) {
+        const Id c = eg.find(cls);
+        if (c == a || dmap->reaches(c, a)) return false;
+      }
+    }
+  }
+
+  // Instantiate every target pattern (monotone adds; cannot create cycles).
+  std::vector<Id> targets;
+  targets.reserve(rule.dst_roots.size());
+  for (Id dst_root : rule.dst_roots) {
+    auto target = instantiate(eg, rule.pat, dst_root, app.subst);
+    if (!target.has_value()) return false;  // shape check failed
+    targets.push_back(*target);
+  }
+  // The merge is only sound if each target computes a value of the same
+  // shape as its matched source class.
+  for (size_t k = 0; k < targets.size(); ++k) {
+    const ValueInfo& a = eg.data(app.src_classes[k]);
+    const ValueInfo& b = eg.data(targets[k]);
+    if (a.kind != b.kind || a.shape != b.shape || a.shape2 != b.shape2) return false;
+  }
+
+  bool changed = false;
+  for (size_t k = 0; k < targets.size(); ++k) {
+    const Id src = eg.find(app.src_classes[k]);
+    const Id dst = eg.find(targets[k]);
+    if (src == dst) continue;
+    if (mode == CycleFilterMode::kVanilla && merge_would_create_cycle(eg, src, dst)) {
+      // Vanilla filtering (paper §5.2): discard the substitution. The target
+      // nodes stay in the e-graph unmerged, which is harmless.
+      continue;
+    }
+    changed |= eg.merge(src, dst);
+  }
+  return changed;
+}
+
+}  // namespace
+
+EGraph seed_egraph(const Graph& input) {
+  Graph g = input;  // single_root() mutates
+  const Id root = g.single_root();
+  EGraph eg;
+  auto mapping = eg.add_graph(g);
+  eg.set_root(mapping.at(root));
+  return eg;
+}
+
+ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
+                             const TensatOptions& options) {
+  Timer timer;
+  ExploreStats stats;
+  const MultiPlan plan = build_multi_plan(rules);
+
+  eg.rebuild();
+  for (int iter = 0; iter < options.k_max; ++iter) {
+    if (timer.seconds() > options.explore_time_limit_s) {
+      stats.stop = StopReason::kTimeLimit;
+      break;
+    }
+    if (eg.num_enodes_total() >= options.node_limit) {
+      stats.stop = StopReason::kNodeLimit;
+      break;
+    }
+    const uint64_t version_before = eg.version();
+    stats.iterations = iter + 1;
+
+    // The descendants map is rebuilt once per iteration (Algorithm 2 line 3).
+    std::unique_ptr<DescendantsMap> dmap;
+    if (options.cycle_filter == CycleFilterMode::kEfficient)
+      dmap = std::make_unique<DescendantsMap>(eg);
+
+    // SEARCH: all canonical patterns, once each (Algorithm 1 line 10).
+    std::vector<std::vector<PatternMatch>> matches(plan.patterns.size());
+    for (size_t p = 0; p < plan.patterns.size(); ++p) {
+      matches[p] = search_pattern(eg, plan.patterns[p].pat, plan.patterns[p].root);
+      stats.matches_found += matches[p].size();
+    }
+
+    // APPLY per rule. Multi-pattern rules go first: they introduce the
+    // merged operators the search is really after, and must not be starved
+    // of node budget by the (cheap, plentiful) algebraic rules.
+    std::vector<size_t> rule_order;
+    for (size_t r = 0; r < rules.size(); ++r)
+      if (rules[r].is_multi()) rule_order.push_back(r);
+    for (size_t r = 0; r < rules.size(); ++r)
+      if (!rules[r].is_multi()) rule_order.push_back(r);
+
+    bool hit_node_limit = false;
+    for (size_t r : rule_order) {
+      if (hit_node_limit) break;
+      const Rewrite& rule = rules[r];
+      if (rule.is_multi() && iter >= options.k_multi) continue;
+      const auto& sources = plan.rule_sources[r];
+      size_t applied_this_rule = 0;
+
+      // De-canonicalized match lists per source pattern (Algorithm 1 ln 12-15).
+      std::vector<std::vector<PatternMatch>> per_source;
+      per_source.reserve(sources.size());
+      bool any_empty = false;
+      for (const SourceBinding& sb : sources) {
+        std::vector<PatternMatch> list;
+        list.reserve(matches[sb.pattern_index].size());
+        for (const PatternMatch& m : matches[sb.pattern_index])
+          list.push_back(PatternMatch{m.root, decanonicalize(m.subst, sb.rename)});
+        if (list.empty()) any_empty = true;
+        per_source.push_back(std::move(list));
+      }
+      if (any_empty) continue;
+
+      // Cartesian product with the compatibility check (Algorithm 1 ln 16-20).
+      std::vector<size_t> idx(per_source.size(), 0);
+      while (!hit_node_limit) {
+        Application app;
+        app.rule = &rule;
+        std::optional<Subst> combined = Subst{};
+        for (size_t k = 0; k < per_source.size() && combined; ++k) {
+          const PatternMatch& m = per_source[k][idx[k]];
+          app.src_classes.push_back(m.root);
+          combined = Subst::merged(*combined, m.subst);
+        }
+        if (combined.has_value()) {  // COMPATIBLE
+          app.subst = std::move(*combined);
+          if (apply_one(eg, app, options.cycle_filter, dmap.get()))
+            ++stats.applications;
+          ++applied_this_rule;
+          const size_t cap = rule.is_multi() ? options.max_applications_per_rule
+                                             : options.max_single_rule_applications;
+          if (applied_this_rule >= cap) break;
+          if (eg.num_enodes_total() >= options.node_limit) hit_node_limit = true;
+          if (timer.seconds() > options.explore_time_limit_s) break;
+        }
+        size_t k = 0;
+        while (k < idx.size()) {
+          if (++idx[k] < per_source[k].size()) break;
+          idx[k] = 0;
+          ++k;
+        }
+        if (k == idx.size()) break;
+      }
+    }
+
+    eg.rebuild();
+    // Post-processing (Algorithm 2 lines 10-18): filter remaining cycles.
+    if (options.cycle_filter == CycleFilterMode::kEfficient ||
+        options.cycle_filter == CycleFilterMode::kVanilla) {
+      // Vanilla's per-merge check is complete for the merges it allows, but
+      // congruence-closure merges during rebuild() can still fuse classes
+      // into cycles; sweep them too so the invariant holds for both modes.
+      filter_cycles(eg);
+    }
+
+    if (hit_node_limit) {
+      stats.stop = StopReason::kNodeLimit;
+      break;
+    }
+    if (eg.version() == version_before) {
+      stats.stop = StopReason::kSaturated;
+      break;
+    }
+    stats.stop = StopReason::kIterLimit;
+  }
+
+  stats.enodes = eg.num_enodes();
+  stats.enodes_total = eg.num_enodes_total();
+  stats.eclasses = eg.num_classes();
+  stats.filtered = eg.num_filtered();
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+TensatResult optimize(const Graph& input, const std::vector<Rewrite>& rules,
+                      const CostModel& model, const TensatOptions& options) {
+  TensatResult result;
+  result.original_cost = graph_cost(input, model);
+
+  EGraph eg = seed_egraph(input);
+  result.explore = run_exploration(eg, rules, options);
+
+  Timer extract_timer;
+  if (options.extractor == ExtractorKind::kGreedy) {
+    ExtractionResult ext = extract_greedy(eg, model);
+    result.ok = ext.ok;
+    if (ext.ok) {
+      result.optimized = std::move(ext.graph);
+      result.optimized_cost = ext.cost;
+    }
+  } else {
+    result.ilp = extract_ilp(eg, model, options.ilp);
+    result.ok = result.ilp.ok;
+    if (result.ilp.ok) {
+      result.optimized = result.ilp.graph;
+      result.optimized_cost = result.ilp.cost;
+    }
+  }
+  result.extract_seconds = extract_timer.seconds();
+
+  // The optimizer must never return a graph worse than its input: fall back
+  // to the input if extraction found nothing better (can happen when the
+  // node limit truncates exploration mid-way).
+  if (!result.ok || result.optimized_cost > result.original_cost) {
+    Graph g = input;
+    g.single_root();
+    result.optimized = std::move(g);
+    result.optimized_cost = result.original_cost;
+    result.ok = true;
+  }
+  return result;
+}
+
+}  // namespace tensat

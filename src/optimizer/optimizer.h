@@ -1,0 +1,79 @@
+// The TENSAT optimizer: exploration (equality saturation with multi-pattern
+// rules and cycle filtering) followed by extraction (greedy or ILP).
+// Mirrors the paper's §4-§5 pipeline and exposes each phase separately so
+// the ablation benchmarks (Tables 4-6) can recombine them.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cost/cost.h"
+#include "egraph/egraph.h"
+#include "extract/extract.h"
+#include "lang/graph.h"
+#include "rewrite/rules.h"
+
+namespace tensat {
+
+enum class CycleFilterMode {
+  kNone,       // rely on ILP cycle constraints instead
+  kVanilla,    // full-pass check before every substitution (paper §5.2)
+  kEfficient,  // descendants pre-filter + DFS post-pass (Algorithm 2)
+};
+
+enum class ExtractorKind { kGreedy, kIlp };
+
+enum class StopReason { kSaturated, kIterLimit, kNodeLimit, kTimeLimit };
+
+struct TensatOptions {
+  int k_max = 15;          // exploration iterations (paper k_max)
+  int k_multi = 1;         // iterations that apply multi-pattern rules
+  size_t node_limit = 20000;  // e-graph size cap (paper N_max = 50000)
+  double explore_time_limit_s = 30.0;
+  CycleFilterMode cycle_filter = CycleFilterMode::kEfficient;
+  ExtractorKind extractor = ExtractorKind::kIlp;
+  IlpExtractOptions ilp;
+  /// Cap on match tuples applied per rule per iteration (guards the
+  /// double-exponential multi-pattern growth between node-limit checks).
+  size_t max_applications_per_rule = 100000;
+  /// Tighter per-iteration cap for single-pattern rules: the cheap algebraic
+  /// rules produce orders of magnitude more matches than the multi-pattern
+  /// merges and would otherwise exhaust the node budget in iteration one
+  /// (the role egg's BackoffScheduler plays for TENSAT).
+  size_t max_single_rule_applications = 100000;
+};
+
+struct ExploreStats {
+  int iterations{0};
+  StopReason stop{StopReason::kIterLimit};
+  size_t enodes{0};        // excluding filtered
+  size_t enodes_total{0};  // the paper's #enodes
+  size_t eclasses{0};
+  size_t filtered{0};
+  size_t matches_found{0};
+  size_t applications{0};
+  double seconds{0.0};
+};
+
+/// Runs the exploration phase on a pre-seeded e-graph (root already set).
+ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
+                             const TensatOptions& options);
+
+struct TensatResult {
+  bool ok{false};
+  Graph optimized;
+  double original_cost{0.0};
+  double optimized_cost{0.0};
+  ExploreStats explore;
+  double extract_seconds{0.0};
+  IlpExtractionResult ilp;  // populated when extractor == kIlp
+};
+
+/// The full pipeline: seed e-graph from `input`, explore, extract.
+TensatResult optimize(const Graph& input, const std::vector<Rewrite>& rules,
+                      const CostModel& model, const TensatOptions& options = {});
+
+/// Seeds an e-graph with `input` (single-rooted via noop if needed).
+EGraph seed_egraph(const Graph& input);
+
+}  // namespace tensat

@@ -1,0 +1,123 @@
+#include "rewrite/matcher.h"
+
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace tensat {
+namespace {
+
+struct Matcher {
+  const EGraph& eg;
+  const Graph& pat;
+  size_t budget;
+  size_t steps_left;
+
+  /// Extends each subst in `in` with matches of pattern node `pid` against
+  /// e-class `cls`; appends results to `out`.
+  void match_node(Id pid, Id cls, const std::vector<Subst>& in,
+                  std::vector<Subst>& out) {
+    if (steps_left == 0) return;
+    --steps_left;
+    cls = eg.find(cls);
+    const TNode& p = pat.node(pid);
+    switch (p.op) {
+      case Op::kVar: {
+        for (const Subst& s : in) {
+          Subst next = s;
+          if (next.bind(p.str, cls) && out.size() < budget) out.push_back(std::move(next));
+        }
+        return;
+      }
+      case Op::kNum: {
+        const ValueInfo& d = eg.data(cls);
+        if (d.kind == VKind::kNum && d.num == p.num)
+          for (const Subst& s : in)
+            if (out.size() < budget) out.push_back(s);
+        return;
+      }
+      case Op::kStr: {
+        const ValueInfo& d = eg.data(cls);
+        if (d.kind == VKind::kStr && d.str == p.str)
+          for (const Subst& s : in)
+            if (out.size() < budget) out.push_back(s);
+        return;
+      }
+      default:
+        break;
+    }
+    // Operator pattern: try every (unfiltered) e-node of the class with the
+    // same operator; children constrain the substitution left to right.
+    for (const EClassNode& entry : eg.eclass(cls).nodes) {
+      if (entry.filtered || entry.node.op != p.op) continue;
+      std::vector<Subst> current = in;
+      for (size_t i = 0; i < p.children.size() && !current.empty(); ++i) {
+        std::vector<Subst> next;
+        match_node(p.children[i], entry.node.children[i], current, next);
+        current = std::move(next);
+      }
+      for (Subst& s : current)
+        if (out.size() < budget) out.push_back(std::move(s));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Subst> match_class(const EGraph& eg, const Graph& pat, Id pattern_root,
+                               Id class_id, const SearchLimits& limits) {
+  Matcher m{eg, pat, limits.max_matches == 0 ? SIZE_MAX : limits.max_matches,
+            limits.max_steps == 0 ? SIZE_MAX : limits.max_steps};
+  std::vector<Subst> out;
+  m.match_node(pattern_root, class_id, {Subst{}}, out);
+  return out;
+}
+
+std::vector<PatternMatch> search_pattern(const EGraph& eg, const Graph& pat,
+                                         Id pattern_root, const SearchLimits& limits) {
+  std::vector<PatternMatch> matches;
+  const size_t budget = limits.max_matches == 0 ? SIZE_MAX : limits.max_matches;
+  Matcher m{eg, pat, budget,
+            limits.max_steps == 0 ? SIZE_MAX : limits.max_steps};
+  for (Id cls : eg.canonical_classes()) {
+    if (matches.size() >= budget || m.steps_left == 0) break;
+    std::vector<Subst> found;
+    m.match_node(pattern_root, cls, {Subst{}}, found);
+    for (Subst& s : found) {
+      if (matches.size() >= budget) break;
+      matches.push_back(PatternMatch{cls, std::move(s)});
+    }
+  }
+  return matches;
+}
+
+std::optional<Id> instantiate(EGraph& eg, const Graph& pat, Id root, const Subst& subst) {
+  std::unordered_map<Id, Id> memo;  // pattern id -> e-class id
+  // Recursive lambda via explicit stack-free recursion (patterns are small).
+  std::function<std::optional<Id>(Id)> go = [&](Id pid) -> std::optional<Id> {
+    auto it = memo.find(pid);
+    if (it != memo.end()) return it->second;
+    const TNode& p = pat.node(pid);
+    std::optional<Id> result;
+    if (p.op == Op::kVar) {
+      auto bound = subst.get(p.str);
+      TENSAT_CHECK(bound.has_value(), "instantiate: unbound variable ?" << p.str.str());
+      result = eg.find(*bound);
+    } else {
+      TNode node{p.op, p.num, p.str, {}};
+      node.children.reserve(p.children.size());
+      for (Id c : p.children) {
+        auto child = go(c);
+        if (!child) return std::nullopt;
+        node.children.push_back(*child);
+      }
+      result = eg.try_add(std::move(node));
+      if (!result) return std::nullopt;
+    }
+    memo.emplace(pid, *result);
+    return result;
+  };
+  return go(root);
+}
+
+}  // namespace tensat

@@ -1,0 +1,41 @@
+// E-matching: finds all ways a pattern embeds in the e-graph. This is the
+// "existing efficient search routine for single-pattern rewrites" that
+// Algorithm 1 builds on; multi-pattern rules reuse it per source pattern and
+// combine the results (see multi.h).
+#pragma once
+
+#include <vector>
+
+#include "egraph/egraph.h"
+#include "rewrite/rewrite.h"
+#include "rewrite/subst.h"
+
+namespace tensat {
+
+struct SearchLimits {
+  /// Cap on total substitutions returned by one search (safety valve against
+  /// pathological pattern blowup). 0 = unlimited.
+  size_t max_matches = 200000;
+  /// Cap on matcher work (recursive match steps) per search. Backtracking
+  /// can explode on dense e-classes even when few matches result; the search
+  /// returns what it has when the budget runs out. 0 = unlimited.
+  size_t max_steps = 2000000;
+};
+
+/// All matches of the pattern rooted at `pattern_root` anywhere in the
+/// e-graph. Variables bind canonical e-class ids; filtered e-nodes are
+/// treated as removed. The e-graph must be clean (rebuilt).
+std::vector<PatternMatch> search_pattern(const EGraph& eg, const Graph& pat,
+                                         Id pattern_root,
+                                         const SearchLimits& limits = {});
+
+/// Matches of the pattern against one specific e-class.
+std::vector<Subst> match_class(const EGraph& eg, const Graph& pat, Id pattern_root,
+                               Id class_id, const SearchLimits& limits = {});
+
+/// Instantiates the pattern rooted at `root` into the e-graph under `subst`.
+/// Returns the resulting e-class, or nullopt if any new node fails the shape
+/// check (the paper's shape-checking gate on rewrites).
+std::optional<Id> instantiate(EGraph& eg, const Graph& pat, Id root, const Subst& subst);
+
+}  // namespace tensat

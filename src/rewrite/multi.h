@@ -1,0 +1,56 @@
+// Multi-pattern rewrite support (paper §4, Algorithm 1).
+//
+// Before exploration we canonicalize every source S-expr of every
+// multi-pattern rule by renaming its variables in traversal order; patterns
+// that differ only by variable names collapse to one canonical pattern. Each
+// exploration iteration then runs the single-pattern search once per
+// canonical pattern, and each rule combines (Cartesian product) the
+// de-canonicalized matches of its source patterns, keeping the combinations
+// that agree on shared variables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rewrite/matcher.h"
+#include "rewrite/rewrite.h"
+
+namespace tensat {
+
+/// A deduplicated canonical source pattern shared by one or more rules.
+struct CanonicalPattern {
+  Graph pat{GraphKind::kPattern};
+  Id root{kInvalidId};
+  std::string key;  // canonical S-expr (dedup key)
+};
+
+/// For one source S-expr of one rule: which canonical pattern to search, and
+/// how to rename its variables back (canonical name -> original name).
+struct SourceBinding {
+  size_t pattern_index{0};
+  std::vector<std::pair<Symbol, Symbol>> rename;
+};
+
+/// Search plan for a rule set: shared canonical patterns plus, per rule, the
+/// bindings of each of its source S-exprs. Rules are indexed as given.
+struct MultiPlan {
+  std::vector<CanonicalPattern> patterns;
+  std::vector<std::vector<SourceBinding>> rule_sources;
+};
+
+/// Canonicalizes the pattern rooted at `root` of `pat`: variables are renamed
+/// to $0, $1, ... in DFS encounter order. Returns the canonical graph/root/key
+/// and appends (canonical, original) pairs to `rename`.
+CanonicalPattern canonicalize_pattern(const Graph& pat, Id root,
+                                      std::vector<std::pair<Symbol, Symbol>>* rename);
+
+/// Builds the shared search plan for `rules` (every rule, single- or
+/// multi-pattern; single-pattern rules also benefit from the dedup).
+MultiPlan build_multi_plan(const std::vector<Rewrite>& rules);
+
+/// Renames a canonical-variable substitution back to a rule's original
+/// variable names.
+Subst decanonicalize(const Subst& subst,
+                     const std::vector<std::pair<Symbol, Symbol>>& rename);
+
+}  // namespace tensat

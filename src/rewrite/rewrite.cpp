@@ -1,0 +1,50 @@
+#include "rewrite/rewrite.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace tensat {
+
+std::vector<Symbol> pattern_vars(const Graph& pat, Id id) {
+  std::vector<Symbol> vars;
+  std::unordered_set<Id> visited;
+  std::vector<Id> stack{id};
+  while (!stack.empty()) {
+    const Id cur = stack.back();
+    stack.pop_back();
+    if (!visited.insert(cur).second) continue;
+    const TNode& n = pat.node(cur);
+    if (n.op == Op::kVar) {
+      if (std::find(vars.begin(), vars.end(), n.str) == vars.end())
+        vars.push_back(n.str);
+    }
+    for (Id c : n.children) stack.push_back(c);
+  }
+  return vars;
+}
+
+Rewrite make_rewrite(std::string name, std::string_view src, std::string_view dst,
+                     RewriteCondition cond) {
+  Rewrite r;
+  r.name = std::move(name);
+  r.src_roots = parse_all_into(r.pat, src);
+  r.dst_roots = parse_all_into(r.pat, dst);
+  TENSAT_CHECK(r.src_roots.size() == r.dst_roots.size(),
+               "rewrite '" << r.name << "': source and target output counts differ");
+  r.cond = std::move(cond);
+
+  // Every target variable must be bound by some source pattern.
+  std::unordered_set<uint32_t> bound;
+  for (Id root : r.src_roots)
+    for (Symbol v : pattern_vars(r.pat, root)) bound.insert(v.id());
+  for (Id root : r.dst_roots)
+    for (Symbol v : pattern_vars(r.pat, root))
+      TENSAT_CHECK(bound.count(v.id()) > 0, "rewrite '" << r.name
+                                                        << "': unbound target variable ?"
+                                                        << v.str());
+  return r;
+}
+
+}  // namespace tensat

@@ -1,0 +1,51 @@
+// Rewrite rules (paper §3.2). A rule's source and target are patterns — DAGs
+// with kVar leaves. Single-pattern rules have one matched output; multi-
+// pattern rules (paper Fig. 2) have several, each source root paired with
+// the target root at the same index.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/graph.h"
+#include "lang/parse.h"
+#include "rewrite/subst.h"
+
+namespace tensat {
+
+/// Resolves a pattern variable to the ValueInfo of whatever it is bound to.
+using InfoLookup = std::function<const ValueInfo&(Symbol)>;
+
+/// An extra semantic precondition beyond the syntactic match and the shape
+/// check (e.g. "this convolution is not grouped"). Evaluated on the matched
+/// variables' value infos; shared between the e-graph and the TASO matcher.
+using RewriteCondition = std::function<bool(const InfoLookup&)>;
+
+struct Rewrite {
+  std::string name;
+  Graph pat{GraphKind::kPattern};   // holds both source and target patterns
+  std::vector<Id> src_roots;        // one per matched output
+  std::vector<Id> dst_roots;        // paired with src_roots by index
+  RewriteCondition cond;            // optional; empty = always true
+  /// False for rules whose target uses operators the reference interpreter
+  /// cannot evaluate (currently: merge); they are excluded from the numeric
+  /// soundness property tests but still shape-validated.
+  bool numeric_checkable = true;
+
+  [[nodiscard]] bool is_multi() const { return src_roots.size() > 1; }
+  [[nodiscard]] bool check_cond(const InfoLookup& lookup) const {
+    return !cond || cond(lookup);
+  }
+};
+
+/// Builds a rule from whitespace-separated source / target S-expressions
+/// (equal counts; target variables must be bound by the source).
+Rewrite make_rewrite(std::string name, std::string_view src, std::string_view dst,
+                     RewriteCondition cond = nullptr);
+
+/// Variables appearing in the subgraph rooted at `id`.
+std::vector<Symbol> pattern_vars(const Graph& pat, Id id);
+
+}  // namespace tensat

@@ -1,0 +1,231 @@
+#include "rewrite/rules.h"
+
+namespace tensat {
+namespace {
+
+/// Precondition: the convolution consuming (?x, ?w) is not grouped, i.e. the
+/// weight's per-group input channels equal the input's channels. Used by the
+/// rules that merge convolutions over channel axes, which are unsound for
+/// grouped convolutions.
+RewriteCondition not_grouped(const char* x, const char* w) {
+  const Symbol xs(x), ws(w);
+  return [xs, ws](const InfoLookup& info) {
+    const ValueInfo& xi = info(xs);
+    const ValueInfo& wi = info(ws);
+    return xi.kind == VKind::kTensor && wi.kind == VKind::kTensor && xi.rank() == 4 &&
+           wi.rank() == 4 && xi.shape[1] == wi.shape[1];
+  };
+}
+
+/// Precondition: the convolution of (?x, ?w) has an even number of groups
+/// greater than one (so merging every 2 groups is possible).
+RewriteCondition groups_even(const char* x, const char* w) {
+  const Symbol xs(x), ws(w);
+  return [xs, ws](const InfoLookup& info) {
+    const ValueInfo& xi = info(xs);
+    const ValueInfo& wi = info(ws);
+    if (xi.kind != VKind::kTensor || wi.kind != VKind::kTensor || xi.rank() != 4 ||
+        wi.rank() != 4)
+      return false;
+    if (wi.shape[1] <= 0 || xi.shape[1] % wi.shape[1] != 0) return false;
+    const int32_t groups = xi.shape[1] / wi.shape[1];
+    return groups > 1 && groups % 2 == 0;
+  };
+}
+
+RewriteCondition all_of(RewriteCondition a, RewriteCondition b) {
+  return [a = std::move(a), b = std::move(b)](const InfoLookup& info) {
+    return a(info) && b(info);
+  };
+}
+
+struct RuleBuilder {
+  std::vector<Rewrite> rules;
+
+  void uni(const char* name, const char* src, const char* dst,
+           RewriteCondition cond = nullptr, bool numeric = true) {
+    Rewrite r = make_rewrite(name, src, dst, std::move(cond));
+    r.numeric_checkable = numeric;
+    rules.push_back(std::move(r));
+  }
+
+  /// Adds both directions; the condition applies to both.
+  void bidi(const char* name, const char* a, const char* b,
+            RewriteCondition cond = nullptr, bool numeric = true) {
+    uni((std::string(name) + "-fwd").c_str(), a, b, cond, numeric);
+    uni((std::string(name) + "-rev").c_str(), b, a, cond, numeric);
+  }
+
+  void uni(const std::string& name, const char* src, const char* dst,
+           RewriteCondition cond = nullptr, bool numeric = true) {
+    uni(name.c_str(), src, dst, std::move(cond), numeric);
+  }
+};
+
+std::vector<Rewrite> build_default_rules() {
+  RuleBuilder b;
+
+  // ---- Elementwise algebra -------------------------------------------------
+  b.uni("ewadd-comm", "(ewadd ?a ?b)", "(ewadd ?b ?a)");
+  b.bidi("ewadd-assoc", "(ewadd (ewadd ?a ?b) ?c)", "(ewadd ?a (ewadd ?b ?c))");
+  b.uni("ewmul-comm", "(ewmul ?a ?b)", "(ewmul ?b ?a)");
+  b.bidi("ewmul-assoc", "(ewmul (ewmul ?a ?b) ?c)", "(ewmul ?a (ewmul ?b ?c))");
+  b.bidi("mul-distributes-over-add", "(ewmul (ewadd ?a ?b) ?c)",
+         "(ewadd (ewmul ?a ?c) (ewmul ?b ?c))");
+
+  // ---- Matmul algebra and activation fusion -------------------------------
+  b.bidi("matmul-assoc", "(matmul ?act ?a (matmul 0 ?b ?c))",
+         "(matmul ?act (matmul 0 ?a ?b) ?c)");
+  b.bidi("matmul-linear-rhs", "(matmul 0 ?a (ewadd ?b ?c))",
+         "(ewadd (matmul 0 ?a ?b) (matmul 0 ?a ?c))");
+  b.bidi("matmul-linear-lhs", "(matmul 0 (ewadd ?a ?b) ?c)",
+         "(ewadd (matmul 0 ?a ?c) (matmul 0 ?b ?c))");
+  b.bidi("relu-into-matmul", "(relu (matmul 0 ?a ?b))", "(matmul 1 ?a ?b)");
+  b.bidi("tanh-into-matmul", "(tanh (matmul 0 ?a ?b))", "(matmul 2 ?a ?b)");
+  b.bidi("sigmoid-into-matmul", "(sigmoid (matmul 0 ?a ?b))", "(matmul 3 ?a ?b)");
+  b.bidi("relu-into-conv", "(relu (conv ?sh ?sw ?p 0 ?x ?w))",
+         "(conv ?sh ?sw ?p 1 ?x ?w)");
+  b.uni("relu-idempotent", "(relu (relu ?x))", "(relu ?x)");
+
+  // ---- Transpose algebra ---------------------------------------------------
+  b.uni("transpose-involution", "(transpose (transpose ?x 1_0) 1_0)", "?x");
+  b.bidi("transpose-of-matmul", "(transpose (matmul ?act ?a ?b) 1_0)",
+         "(matmul ?act (transpose ?b 1_0) (transpose ?a 1_0))");
+  b.bidi("transpose-of-ewadd", "(transpose (ewadd ?a ?b) ?p)",
+         "(ewadd (transpose ?a ?p) (transpose ?b ?p))");
+  b.bidi("transpose-of-ewmul", "(transpose (ewmul ?a ?b) ?p)",
+         "(ewmul (transpose ?a ?p) (transpose ?b ?p))");
+  b.bidi("relu-transpose-commute", "(relu (transpose ?x ?p))",
+         "(transpose (relu ?x) ?p)");
+
+  // ---- Concat / split algebra ----------------------------------------------
+  b.uni("split0-of-concat", "(split0 (split ?ax (concat2 ?ax ?a ?b)))", "?a");
+  b.uni("split1-of-concat", "(split1 (split ?ax (concat2 ?ax ?a ?b)))", "?b");
+  b.uni("concat-of-split",
+        "(concat2 ?ax (split0 (split ?ax ?t)) (split1 (split ?ax ?t)))", "?t");
+  b.bidi("concat-of-relu", "(concat2 ?ax (relu ?a) (relu ?b))",
+         "(relu (concat2 ?ax ?a ?b))");
+  b.bidi("concat-of-tanh", "(concat2 ?ax (tanh ?a) (tanh ?b))",
+         "(tanh (concat2 ?ax ?a ?b))");
+  b.bidi("concat-of-sigmoid", "(concat2 ?ax (sigmoid ?a) (sigmoid ?b))",
+         "(sigmoid (concat2 ?ax ?a ?b))");
+  b.bidi("concat-of-ewadd", "(concat2 ?ax (ewadd ?a ?b) (ewadd ?c ?d))",
+         "(ewadd (concat2 ?ax ?a ?c) (concat2 ?ax ?b ?d))");
+  b.bidi("concat-of-ewmul", "(concat2 ?ax (ewmul ?a ?b) (ewmul ?c ?d))",
+         "(ewmul (concat2 ?ax ?a ?c) (concat2 ?ax ?b ?d))");
+
+  // Merging matmuls that share an operand, via concat (single-output forms;
+  // the two-output forms are the multi-pattern rules below). Axis variants
+  // cover rank-2 and rank-3 operands; the shape check kills the wrong one.
+  b.bidi("matmul-concat-cols", "(concat2 1 (matmul ?act ?a ?b) (matmul ?act ?a ?c))",
+         "(matmul ?act ?a (concat2 1 ?b ?c))");
+  b.bidi("matmul-concat-cols-3d",
+         "(concat2 2 (matmul ?act ?a ?b) (matmul ?act ?a ?c))",
+         "(matmul ?act ?a (concat2 2 ?b ?c))");
+  b.bidi("matmul-concat-rows", "(concat2 0 (matmul ?act ?a ?c) (matmul ?act ?b ?c))",
+         "(matmul ?act (concat2 0 ?a ?b) ?c)");
+  b.bidi("matmul-concat-rows-3d",
+         "(concat2 1 (matmul ?act ?a ?c) (matmul ?act ?b ?c))",
+         "(matmul ?act (concat2 1 ?a ?b) ?c)");
+
+  // ---- Convolution merging -------------------------------------------------
+  b.bidi("conv-concat-cout",
+         "(concat2 1 (conv ?sh ?sw ?p ?act ?x ?w1) (conv ?sh ?sw ?p ?act ?x ?w2))",
+         "(conv ?sh ?sw ?p ?act ?x (concat2 0 ?w1 ?w2))",
+         all_of(not_grouped("x", "w1"), not_grouped("x", "w2")));
+  b.bidi("conv-concat-batch",
+         "(concat2 0 (conv ?sh ?sw ?p ?act ?x1 ?w) (conv ?sh ?sw ?p ?act ?x2 ?w))",
+         "(conv ?sh ?sw ?p ?act (concat2 0 ?x1 ?x2) ?w)");
+  // Paper Fig. 10: a sum of convolutions over the same spatial extent is one
+  // convolution over channel-concatenated inputs and weights.
+  b.bidi("conv-add-cin",
+         "(ewadd (conv ?sh ?sw ?p 0 ?x1 ?w1) (conv ?sh ?sw ?p 0 ?x2 ?w2))",
+         "(conv ?sh ?sw ?p 0 (concat2 1 ?x1 ?x2) (concat2 1 ?w1 ?w2))",
+         all_of(not_grouped("x1", "w1"), not_grouped("x2", "w2")));
+  // Kernel-size harmonization (TASO's enlarge): zero-pad the smaller kernel
+  // so differently-sized convolutions over the same input can merge. Only
+  // sound under SAME padding (hence the literal 0).
+  b.uni("conv-enlarge-concat",
+        "(concat2 1 (conv ?sh ?sw 0 ?act ?x ?w1) (conv ?sh ?sw 0 ?act ?x ?w2))",
+        "(conv ?sh ?sw 0 ?act ?x (concat2 0 (enlarge ?w1 ?w2) ?w2))",
+        all_of(not_grouped("x", "w1"), not_grouped("x", "w2")));
+  b.uni("conv-enlarge-concat-sym",
+        "(concat2 1 (conv ?sh ?sw 0 ?act ?x ?w1) (conv ?sh ?sw 0 ?act ?x ?w2))",
+        "(conv ?sh ?sw 0 ?act ?x (concat2 0 ?w1 (enlarge ?w2 ?w1)))",
+        all_of(not_grouped("x", "w1"), not_grouped("x", "w2")));
+  // TASO's grouped-convolution merging: halve the group count by merging
+  // every 2 groups (weight laid out block-diagonally by `merge`). Structural
+  // only: merge's value depends on the consuming conv (see DESIGN.md).
+  b.uni("conv-merge-groups", "(conv ?sh ?sw ?p ?act ?x ?w)",
+        "(conv ?sh ?sw ?p ?act ?x (merge ?w 2))", groups_even("x", "w"),
+        /*numeric=*/false);
+
+  // ---- Pooling -------------------------------------------------------------
+  b.bidi("poolavg-concat-channel",
+         "(concat2 1 (poolavg ?x ?kh ?kw ?sh ?sw ?p ?act) "
+         "(poolavg ?y ?kh ?kw ?sh ?sw ?p ?act))",
+         "(poolavg (concat2 1 ?x ?y) ?kh ?kw ?sh ?sw ?p ?act)");
+  b.bidi("poolmax-concat-channel",
+         "(concat2 1 (poolmax ?x ?kh ?kw ?sh ?sw ?p ?act) "
+         "(poolmax ?y ?kh ?kw ?sh ?sw ?p ?act))",
+         "(poolmax (concat2 1 ?x ?y) ?kh ?kw ?sh ?sw ?p ?act)");
+
+  // ---- Multi-pattern rules (paper Fig. 2 and Figs. 8/9/11) -----------------
+  // Two matmuls sharing the left operand -> one matmul of concatenated right
+  // operands, recovered by split.
+  b.uni("multi-matmul-share-lhs",
+        "(matmul ?act ?a ?b) (matmul ?act ?a ?c)",
+        "(split0 (split 1 (matmul ?act ?a (concat2 1 ?b ?c)))) "
+        "(split1 (split 1 (matmul ?act ?a (concat2 1 ?b ?c))))");
+  b.uni("multi-matmul-share-lhs-3d",
+        "(matmul ?act ?a ?b) (matmul ?act ?a ?c)",
+        "(split0 (split 2 (matmul ?act ?a (concat2 2 ?b ?c)))) "
+        "(split1 (split 2 (matmul ?act ?a (concat2 2 ?b ?c))))");
+  // Two matmuls sharing the right operand (paper Fig. 11).
+  b.uni("multi-matmul-share-rhs",
+        "(matmul ?act ?x ?w) (matmul ?act ?y ?w)",
+        "(split0 (split 0 (matmul ?act (concat2 0 ?x ?y) ?w))) "
+        "(split1 (split 0 (matmul ?act (concat2 0 ?x ?y) ?w)))");
+  b.uni("multi-matmul-share-rhs-3d",
+        "(matmul ?act ?x ?w) (matmul ?act ?y ?w)",
+        "(split0 (split 1 (matmul ?act (concat2 1 ?x ?y) ?w))) "
+        "(split1 (split 1 (matmul ?act (concat2 1 ?x ?y) ?w)))");
+  // Two convolutions sharing the input -> one convolution with concatenated
+  // output channels (paper Fig. 9).
+  b.uni("multi-conv-share-input",
+        "(conv ?sh ?sw ?p ?act ?x ?w1) (conv ?sh ?sw ?p ?act ?x ?w2)",
+        "(split0 (split 1 (conv ?sh ?sw ?p ?act ?x (concat2 0 ?w1 ?w2)))) "
+        "(split1 (split 1 (conv ?sh ?sw ?p ?act ?x (concat2 0 ?w1 ?w2))))",
+        all_of(not_grouped("x", "w1"), not_grouped("x", "w2")));
+  // Two convolutions sharing the weight -> one convolution over the
+  // batch-concatenated inputs.
+  b.uni("multi-conv-share-weight",
+        "(conv ?sh ?sw ?p ?act ?x1 ?w) (conv ?sh ?sw ?p ?act ?x2 ?w)",
+        "(split0 (split 0 (conv ?sh ?sw ?p ?act (concat2 0 ?x1 ?x2) ?w))) "
+        "(split1 (split 0 (conv ?sh ?sw ?p ?act (concat2 0 ?x1 ?x2) ?w)))");
+
+  return b.rules;
+}
+
+}  // namespace
+
+const std::vector<Rewrite>& default_rules() {
+  static const auto* rules = new std::vector<Rewrite>(build_default_rules());
+  return *rules;
+}
+
+std::vector<Rewrite> single_pattern_rules() {
+  std::vector<Rewrite> out;
+  for (const Rewrite& r : default_rules())
+    if (!r.is_multi()) out.push_back(r);
+  return out;
+}
+
+std::vector<Rewrite> multi_pattern_rules() {
+  std::vector<Rewrite> out;
+  for (const Rewrite& r : default_rules())
+    if (r.is_multi()) out.push_back(r);
+  return out;
+}
+
+}  // namespace tensat

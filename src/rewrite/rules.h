@@ -1,0 +1,30 @@
+// The rewrite-rule set. The paper runs TENSAT with TASO's generated rules;
+// we hand-write the verified rule families those rules cover (see DESIGN.md
+// §3): elementwise algebra, matmul algebra and activation fusion, transpose
+// algebra, concat/split algebra including the fused-operator rules the
+// paper's appendix highlights (Figs. 8-11), convolution merging (output
+// channels, input channels, batch, kernel enlarging, group merging), and the
+// multi-pattern rules that introduce merged operators for operators that
+// share an operand (paper Fig. 2).
+//
+// Every rule is numerically validated against the reference interpreter by
+// tests/rules_soundness_test.cpp except those marked !numeric_checkable.
+#pragma once
+
+#include <vector>
+
+#include "rewrite/rewrite.h"
+
+namespace tensat {
+
+/// The full default rule set (single- and multi-pattern, both directions
+/// where well-formed).
+const std::vector<Rewrite>& default_rules();
+
+/// Only the single-pattern subset of default_rules().
+std::vector<Rewrite> single_pattern_rules();
+
+/// Only the multi-pattern subset of default_rules().
+std::vector<Rewrite> multi_pattern_rules();
+
+}  // namespace tensat

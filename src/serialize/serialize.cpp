@@ -1,0 +1,107 @@
+#include "serialize/serialize.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace tensat {
+namespace {
+
+constexpr const char* kHeader = "tensat-graph v1";
+
+}  // namespace
+
+void save_graph(const Graph& g, std::ostream& os) {
+  os << kHeader << '\n';
+  std::unordered_map<Id, int> renumber;
+  for (Id id : g.topo_order()) {
+    const int out_id = static_cast<int>(renumber.size());
+    renumber.emplace(id, out_id);
+    const TNode& n = g.node(id);
+    os << out_id << ' ' << op_info(n.op).name;
+    if (n.op == Op::kNum) os << ' ' << n.num;
+    if (n.op == Op::kStr || n.op == Op::kVar) os << ' ' << n.str.str();
+    for (Id c : n.children) os << ' ' << renumber.at(c);
+    os << '\n';
+  }
+  os << "roots";
+  for (Id root : g.roots()) os << ' ' << renumber.at(root);
+  os << '\n';
+}
+
+std::string save_graph_to_string(const Graph& g) {
+  std::ostringstream os;
+  save_graph(g, os);
+  return os.str();
+}
+
+Graph load_graph(std::istream& is, GraphKind kind) {
+  std::string line;
+  TENSAT_CHECK(std::getline(is, line) && line == kHeader,
+               "bad header: expected '" << kHeader << "'");
+  Graph g(kind);
+  std::unordered_map<int, Id> ids;
+  bool saw_roots = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    if (first == "roots") {
+      std::vector<Id> roots;
+      int rid = 0;
+      while (ls >> rid) {
+        auto it = ids.find(rid);
+        TENSAT_CHECK(it != ids.end(), "roots reference unknown id " << rid);
+        roots.push_back(it->second);
+      }
+      TENSAT_CHECK(!roots.empty(), "empty roots line");
+      g.set_roots(std::move(roots));
+      saw_roots = true;
+      break;
+    }
+    int out_id = 0;
+    {
+      auto [ptr, ec] = std::from_chars(first.data(), first.data() + first.size(), out_id);
+      TENSAT_CHECK(ec == std::errc() && ptr == first.data() + first.size(),
+                   "bad node id '" << first << "'");
+    }
+    TENSAT_CHECK(ids.count(out_id) == 0, "duplicate node id " << out_id);
+    std::string op_name;
+    TENSAT_CHECK(static_cast<bool>(ls >> op_name), "missing op on line: " << line);
+    TNode node;
+    if (op_name == "num") {
+      node.op = Op::kNum;
+      TENSAT_CHECK(static_cast<bool>(ls >> node.num), "num without value");
+    } else if (op_name == "str" || op_name == "var") {
+      node.op = op_name == "str" ? Op::kStr : Op::kVar;
+      std::string text;
+      TENSAT_CHECK(static_cast<bool>(ls >> text), op_name << " without payload");
+      node.str = Symbol(text);
+    } else {
+      auto op = op_from_name(op_name);
+      TENSAT_CHECK(op.has_value(), "unknown op '" << op_name << "'");
+      node.op = *op;
+      int child = 0;
+      while (ls >> child) {
+        auto it = ids.find(child);
+        TENSAT_CHECK(it != ids.end(), "child references unknown id " << child);
+        node.children.push_back(it->second);
+      }
+    }
+    ids.emplace(out_id, g.add(std::move(node)));
+  }
+  TENSAT_CHECK(saw_roots, "missing roots line");
+  return g;
+}
+
+Graph load_graph_from_string(const std::string& text, GraphKind kind) {
+  std::istringstream is(text);
+  return load_graph(is, kind);
+}
+
+}  // namespace tensat

@@ -1,0 +1,36 @@
+// Text serialization for tensor graphs. The format is line-based and
+// explicitly shared (one line per node, children by id), so DAGs round-trip
+// without the exponential blowup of plain S-expressions:
+//
+//     tensat-graph v1
+//     0 str x@64_512
+//     1 input 0
+//     2 num 0
+//     3 str w@512_512
+//     4 weight 3
+//     5 matmul 2 1 4
+//     roots 5
+//
+// Node ids are dense and topologically ordered (children first). Concrete
+// graphs re-run shape inference on load, so a corrupted file cannot produce
+// an ill-formed graph.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lang/graph.h"
+
+namespace tensat {
+
+/// Writes the subgraph reachable from `g`'s roots.
+void save_graph(const Graph& g, std::ostream& os);
+std::string save_graph_to_string(const Graph& g);
+
+/// Parses a graph in the format above. Throws tensat::Error on malformed
+/// input (unknown ops, dangling ids, shape-check failures, bad header).
+Graph load_graph(std::istream& is, GraphKind kind = GraphKind::kConcrete);
+Graph load_graph_from_string(const std::string& text,
+                             GraphKind kind = GraphKind::kConcrete);
+
+}  // namespace tensat

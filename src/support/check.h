@@ -1,0 +1,42 @@
+// Error-checking macros. TENSAT_CHECK throws on violation in all build modes;
+// it is used for invariants whose failure indicates a bug or malformed input
+// that the caller cannot recover from locally.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tensat {
+
+/// Exception type thrown by TENSAT_CHECK / TENSAT_FAIL.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace tensat
+
+#define TENSAT_FAIL(msg)                                            \
+  do {                                                              \
+    std::ostringstream tensat_os_;                                  \
+    tensat_os_ << msg;                                              \
+    ::tensat::detail::fail(__FILE__, __LINE__, tensat_os_.str());   \
+  } while (0)
+
+#define TENSAT_CHECK(cond, msg)                                     \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::ostringstream tensat_os_;                                \
+      tensat_os_ << "check failed: " #cond ": " << msg;             \
+      ::tensat::detail::fail(__FILE__, __LINE__, tensat_os_.str()); \
+    }                                                               \
+  } while (0)

@@ -1,0 +1,23 @@
+// Hash helpers used by hash-consing maps across the project.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace tensat {
+
+/// Mixes `value`'s hash into `seed` (boost-style combiner with a 64-bit
+/// avalanche step; good enough for hash-cons tables).
+inline void hash_combine(size_t& seed, size_t value) {
+  value *= 0x9e3779b97f4a7c15ull;
+  value ^= value >> 32;
+  seed ^= value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+template <typename T>
+void hash_combine_value(size_t& seed, const T& v) {
+  hash_combine(seed, std::hash<T>{}(v));
+}
+
+}  // namespace tensat

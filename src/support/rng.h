@@ -1,0 +1,52 @@
+// Deterministic pseudo-random numbers (splitmix64 core). All stochastic pieces
+// of the project (test inputs, measurement-noise simulation, TASO tie-breaks)
+// take an explicit Rng so runs are reproducible from a seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace tensat {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+
+  /// Standard normal via Box-Muller (one value per call; simple and adequate).
+  double normal() {
+    double u1 = 0.0;
+    while (u1 <= 1e-12) u1 = uniform();
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.283185307179586;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace tensat

@@ -1,0 +1,43 @@
+// Interned strings. A Symbol is a cheap, trivially copyable handle to a string
+// stored in a process-wide table; equality and hashing are integer operations.
+// Used for operator string payloads (tensor identifiers, permutations, shapes)
+// and pattern variable names.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace tensat {
+
+class Symbol {
+ public:
+  /// The empty symbol, interned for "".
+  Symbol();
+
+  /// Interns `text` (idempotent) and returns its handle.
+  explicit Symbol(std::string_view text);
+
+  /// The interned text. Valid for the lifetime of the process.
+  [[nodiscard]] const std::string& str() const;
+
+  [[nodiscard]] uint32_t id() const { return id_; }
+  [[nodiscard]] bool empty() const;
+
+  friend bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  friend bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+ private:
+  uint32_t id_;
+};
+
+}  // namespace tensat
+
+template <>
+struct std::hash<tensat::Symbol> {
+  size_t operator()(tensat::Symbol s) const noexcept {
+    return std::hash<uint32_t>{}(s.id());
+  }
+};

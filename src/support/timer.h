@@ -1,0 +1,25 @@
+// Wall-clock timing helpers used for optimizer phase statistics and for the
+// benchmark harnesses that report optimizer time.
+#pragma once
+
+#include <chrono>
+
+namespace tensat {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tensat

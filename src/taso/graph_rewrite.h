@@ -1,0 +1,33 @@
+// Pattern matching and substitution on concrete graphs — the machinery the
+// TASO-style sequential backtracking baseline needs. Unlike e-matching, a
+// concrete node has exactly one definition, so a (pattern node, graph node)
+// pair yields at most one substitution.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lang/graph.h"
+#include "rewrite/rewrite.h"
+#include "rewrite/subst.h"
+
+namespace tensat {
+
+/// All matches of the pattern rooted at `pat_root` against nodes of `g`
+/// reachable from its roots. Variables bind node ids of `g`.
+std::vector<PatternMatch> match_graph_pattern(const Graph& g, const Graph& pat,
+                                              Id pat_root);
+
+/// All ways to apply `rule` to `g`: for single-pattern rules one entry per
+/// match; for multi-pattern rules the compatible Cartesian combinations with
+/// pairwise-distinct matched roots.
+std::vector<std::vector<PatternMatch>> find_rule_applications(const Graph& g,
+                                                              const Rewrite& rule);
+
+/// Applies `rule` at the given match tuple (one PatternMatch per source
+/// root). Returns the rewritten graph, or nullopt if the shape check, the
+/// rule condition, or output-shape compatibility fails. `g` is unchanged.
+std::optional<Graph> apply_to_graph(const Graph& g, const Rewrite& rule,
+                                    const std::vector<PatternMatch>& matches);
+
+}  // namespace tensat

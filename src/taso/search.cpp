@@ -1,0 +1,73 @@
+#include "taso/search.h"
+
+#include <queue>
+#include <unordered_set>
+
+#include "support/timer.h"
+#include "taso/graph_rewrite.h"
+
+namespace tensat {
+namespace {
+
+struct Candidate {
+  Graph graph;
+  double cost;
+};
+
+struct CandidateOrder {
+  bool operator()(const Candidate& a, const Candidate& b) const {
+    return a.cost > b.cost;  // min-heap on cost
+  }
+};
+
+}  // namespace
+
+TasoResult taso_search(const Graph& input, const std::vector<Rewrite>& rules,
+                       const CostModel& model, const TasoOptions& options) {
+  Timer timer;
+  TasoResult result;
+  result.best = input;
+  result.original_cost = graph_cost(input, model);
+  result.best_cost = result.original_cost;
+  result.stats.timeline.emplace_back(0.0, result.original_cost);
+
+  std::priority_queue<Candidate, std::vector<Candidate>, CandidateOrder> queue;
+  std::unordered_set<std::string> seen;
+  seen.insert(input.canonical_key());
+  queue.push(Candidate{input, result.original_cost});
+  result.stats.graphs_seen = 1;
+
+  while (!queue.empty() && result.stats.iterations_run < options.iterations) {
+    if (timer.seconds() > options.time_limit_s) break;
+    Candidate cur = queue.top();
+    queue.pop();
+    ++result.stats.iterations_run;
+
+    for (const Rewrite& rule : rules) {
+      if (timer.seconds() > options.time_limit_s) break;
+      for (const auto& tuple : find_rule_applications(cur.graph, rule)) {
+        auto next = apply_to_graph(cur.graph, rule, tuple);
+        if (!next.has_value()) continue;
+        ++result.stats.applications;
+        std::string key = next->canonical_key();
+        if (!seen.insert(std::move(key)).second) continue;
+        ++result.stats.graphs_seen;
+        const double cost = graph_cost(*next, model);
+        if (cost < result.best_cost) {
+          result.best_cost = cost;
+          result.best = *next;
+          result.stats.best_seconds = timer.seconds();
+          result.stats.timeline.emplace_back(result.stats.best_seconds, cost);
+        }
+        if (cost < options.alpha * result.best_cost &&
+            queue.size() < options.max_queue) {
+          queue.push(Candidate{std::move(*next), cost});
+        }
+      }
+    }
+  }
+  result.stats.total_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace tensat

@@ -1,0 +1,48 @@
+// The TASO baseline: cost-based backtracking search over sequences of
+// substitutions (Jia et al. 2019a, Algorithm 2), reimplemented on our graph
+// IR and cost model so the comparison with TENSAT is apples-to-apples.
+//
+// A priority queue ordered by graph cost holds candidate graphs; each popped
+// graph is expanded by applying every rule at every match; children within
+// `alpha` of the best cost are enqueued. The search records when it first
+// reached its best graph (the paper's "TASO best" oracle time) and the full
+// improvement timeline (for the paper's Fig. 6 trade-off curve).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cost/cost.h"
+#include "lang/graph.h"
+#include "rewrite/rewrite.h"
+
+namespace tensat {
+
+struct TasoOptions {
+  int iterations = 100;       // queue pops (the paper's n)
+  double alpha = 1.05;        // cost-relaxation factor
+  double time_limit_s = 60.0;
+  size_t max_queue = 200000;  // safety valve
+};
+
+struct TasoStats {
+  double total_seconds{0.0};
+  double best_seconds{0.0};  // time when the best graph was first found
+  int iterations_run{0};
+  size_t graphs_seen{0};
+  size_t applications{0};
+  /// (elapsed seconds, best cost so far) at every improvement.
+  std::vector<std::pair<double, double>> timeline;
+};
+
+struct TasoResult {
+  Graph best;
+  double original_cost{0.0};
+  double best_cost{0.0};
+  TasoStats stats;
+};
+
+TasoResult taso_search(const Graph& input, const std::vector<Rewrite>& rules,
+                       const CostModel& model, const TasoOptions& options = {});
+
+}  // namespace tensat

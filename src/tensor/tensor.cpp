@@ -1,0 +1,349 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace tensat {
+namespace {
+
+int64_t product(std::span<const int32_t> dims) {
+  int64_t v = 1;
+  for (int32_t d : dims) v *= d;
+  return v;
+}
+
+float apply_act(float v, Activation act) {
+  switch (act) {
+    case kActNone:
+      return v;
+    case kActRelu:
+      return v > 0.0f ? v : 0.0f;
+    case kActTanh:
+      return std::tanh(v);
+    case kActSigmoid:
+      return 1.0f / (1.0f + std::exp(-v));
+  }
+  TENSAT_FAIL("bad activation " << static_cast<int>(act));
+}
+
+/// Total SAME padding for one spatial dimension (TensorFlow convention).
+int32_t same_pad_total(int32_t in, int32_t kernel, int32_t stride) {
+  const int32_t out = (in + stride - 1) / stride;
+  return std::max<int32_t>((out - 1) * stride + kernel - in, 0);
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int32_t> dims)
+    : dims_(std::move(dims)), data_(product(dims_), 0.0f) {}
+
+Tensor::Tensor(std::vector<int32_t> dims, std::vector<float> values)
+    : dims_(std::move(dims)), data_(std::move(values)) {
+  TENSAT_CHECK(static_cast<int64_t>(data_.size()) == product(dims_),
+               "tensor data size does not match dims");
+}
+
+int64_t Tensor::offset(std::span<const int32_t> idx) const {
+  TENSAT_CHECK(idx.size() == dims_.size(), "index rank mismatch");
+  int64_t off = 0;
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    TENSAT_CHECK(idx[d] >= 0 && idx[d] < dims_[d],
+                 "index out of range at dim " << d << ": " << idx[d]);
+    off = off * dims_[d] + idx[d];
+  }
+  return off;
+}
+
+float& Tensor::at(std::span<const int32_t> idx) { return data_[offset(idx)]; }
+float Tensor::at(std::span<const int32_t> idx) const { return data_[offset(idx)]; }
+
+float& Tensor::at2(int32_t i, int32_t j) {
+  const int32_t idx[] = {i, j};
+  return at(idx);
+}
+float Tensor::at2(int32_t i, int32_t j) const {
+  const int32_t idx[] = {i, j};
+  return at(idx);
+}
+float& Tensor::at4(int32_t a, int32_t b, int32_t c, int32_t d) {
+  const int32_t idx[] = {a, b, c, d};
+  return at(idx);
+}
+float Tensor::at4(int32_t a, int32_t b, int32_t c, int32_t d) const {
+  const int32_t idx[] = {a, b, c, d};
+  return at(idx);
+}
+
+float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  TENSAT_CHECK(a.dims() == b.dims(), "max_abs_diff: dims differ");
+  float worst = 0.0f;
+  for (int64_t i = 0; i < a.volume(); ++i)
+    worst = std::max(worst, std::abs(a.data()[i] - b.data()[i]));
+  return worst;
+}
+
+Tensor ewadd(const Tensor& a, const Tensor& b) {
+  TENSAT_CHECK(a.dims() == b.dims(), "ewadd: dims differ");
+  Tensor out(a.dims().empty() ? std::vector<int32_t>{} : std::vector<int32_t>(a.dims()));
+  for (int64_t i = 0; i < a.volume(); ++i) out.data()[i] = a.data()[i] + b.data()[i];
+  return out;
+}
+
+Tensor ewmul(const Tensor& a, const Tensor& b) {
+  TENSAT_CHECK(a.dims() == b.dims(), "ewmul: dims differ");
+  Tensor out(std::vector<int32_t>(a.dims()));
+  for (int64_t i = 0; i < a.volume(); ++i) out.data()[i] = a.data()[i] * b.data()[i];
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, Activation act) {
+  const int ra = a.rank(), rb = b.rank();
+  TENSAT_CHECK((ra == 2 || ra == 3) && (rb == 2 || rb == 3), "matmul: bad ranks");
+  const int32_t m = a.dims()[ra - 2], k = a.dims()[ra - 1];
+  const int32_t k2 = b.dims()[rb - 2], n = b.dims()[rb - 1];
+  TENSAT_CHECK(k == k2, "matmul: inner dims differ");
+  const int32_t batch = (ra == 3) ? a.dims()[0] : (rb == 3 ? b.dims()[0] : 1);
+  if (ra == 3 && rb == 3)
+    TENSAT_CHECK(a.dims()[0] == b.dims()[0], "matmul: batch dims differ");
+
+  const bool batched = (ra == 3 || rb == 3);
+  Tensor out(batched ? std::vector<int32_t>{batch, m, n} : std::vector<int32_t>{m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+  const int64_t sa = (ra == 3) ? static_cast<int64_t>(m) * k : 0;
+  const int64_t sb = (rb == 3) ? static_cast<int64_t>(k) * n : 0;
+  for (int32_t bt = 0; bt < batch; ++bt) {
+    for (int32_t i = 0; i < m; ++i) {
+      for (int32_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int32_t p = 0; p < k; ++p)
+          acc += static_cast<double>(pa[bt * sa + static_cast<int64_t>(i) * k + p]) *
+                 pb[bt * sb + static_cast<int64_t>(p) * n + j];
+        po[(static_cast<int64_t>(bt) * m + i) * n + j] =
+            apply_act(static_cast<float>(acc), act);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv2d(const Tensor& x, const Tensor& w, int32_t stride_h, int32_t stride_w,
+              Padding pad, Activation act) {
+  TENSAT_CHECK(x.rank() == 4 && w.rank() == 4, "conv2d: rank must be 4");
+  const int32_t n = x.dims()[0], c = x.dims()[1], h = x.dims()[2], wd = x.dims()[3];
+  const int32_t cout = w.dims()[0], cing = w.dims()[1], kh = w.dims()[2], kw = w.dims()[3];
+  TENSAT_CHECK(c % cing == 0, "conv2d: channels not divisible by weight cin");
+  const int32_t groups = c / cing;
+  TENSAT_CHECK(cout % groups == 0, "conv2d: cout not divisible by groups");
+  const int32_t cout_per_group = cout / groups;
+
+  int32_t pad_top = 0, pad_left = 0, oh = 0, ow = 0;
+  if (pad == kPadSame) {
+    oh = (h + stride_h - 1) / stride_h;
+    ow = (wd + stride_w - 1) / stride_w;
+    pad_top = same_pad_total(h, kh, stride_h) / 2;
+    pad_left = same_pad_total(wd, kw, stride_w) / 2;
+  } else {
+    TENSAT_CHECK(h >= kh && wd >= kw, "conv2d: VALID kernel larger than input");
+    oh = (h - kh) / stride_h + 1;
+    ow = (wd - kw) / stride_w + 1;
+  }
+
+  Tensor out({n, cout, oh, ow});
+  for (int32_t b = 0; b < n; ++b) {
+    for (int32_t oc = 0; oc < cout; ++oc) {
+      const int32_t g = oc / cout_per_group;
+      for (int32_t y = 0; y < oh; ++y) {
+        for (int32_t xo = 0; xo < ow; ++xo) {
+          double acc = 0.0;
+          for (int32_t ic = 0; ic < cing; ++ic) {
+            const int32_t in_c = g * cing + ic;
+            for (int32_t dy = 0; dy < kh; ++dy) {
+              const int32_t iy = y * stride_h - pad_top + dy;
+              if (iy < 0 || iy >= h) continue;
+              for (int32_t dx = 0; dx < kw; ++dx) {
+                const int32_t ix = xo * stride_w - pad_left + dx;
+                if (ix < 0 || ix >= wd) continue;
+                acc += static_cast<double>(x.at4(b, in_c, iy, ix)) * w.at4(oc, ic, dy, dx);
+              }
+            }
+          }
+          out.at4(b, oc, y, xo) = apply_act(static_cast<float>(acc), act);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor activation(const Tensor& x, Activation act) {
+  Tensor out(std::vector<int32_t>(x.dims()));
+  for (int64_t i = 0; i < x.volume(); ++i) out.data()[i] = apply_act(x.data()[i], act);
+  return out;
+}
+
+namespace {
+
+template <bool kMax>
+Tensor pool_impl(const Tensor& x, int32_t kh, int32_t kw, int32_t sh, int32_t sw,
+                 Padding pad, Activation act) {
+  TENSAT_CHECK(x.rank() == 4, "pool: rank must be 4");
+  const int32_t n = x.dims()[0], c = x.dims()[1], h = x.dims()[2], wd = x.dims()[3];
+  int32_t pad_top = 0, pad_left = 0, oh = 0, ow = 0;
+  if (pad == kPadSame) {
+    oh = (h + sh - 1) / sh;
+    ow = (wd + sw - 1) / sw;
+    pad_top = same_pad_total(h, kh, sh) / 2;
+    pad_left = same_pad_total(wd, kw, sw) / 2;
+  } else {
+    TENSAT_CHECK(h >= kh && wd >= kw, "pool: VALID kernel larger than input");
+    oh = (h - kh) / sh + 1;
+    ow = (wd - kw) / sw + 1;
+  }
+  Tensor out({n, c, oh, ow});
+  for (int32_t b = 0; b < n; ++b) {
+    for (int32_t ch = 0; ch < c; ++ch) {
+      for (int32_t y = 0; y < oh; ++y) {
+        for (int32_t xo = 0; xo < ow; ++xo) {
+          float best = -std::numeric_limits<float>::infinity();
+          double sum = 0.0;
+          int count = 0;
+          for (int32_t dy = 0; dy < kh; ++dy) {
+            const int32_t iy = y * sh - pad_top + dy;
+            if (iy < 0 || iy >= h) continue;
+            for (int32_t dx = 0; dx < kw; ++dx) {
+              const int32_t ix = xo * sw - pad_left + dx;
+              if (ix < 0 || ix >= wd) continue;
+              const float v = x.at4(b, ch, iy, ix);
+              best = std::max(best, v);
+              sum += v;
+              ++count;
+            }
+          }
+          TENSAT_CHECK(count > 0, "pool: empty window");
+          const float v = kMax ? best : static_cast<float>(sum / count);
+          out.at4(b, ch, y, xo) = apply_act(v, act);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor poolmax(const Tensor& x, int32_t kh, int32_t kw, int32_t sh, int32_t sw,
+               Padding pad, Activation act) {
+  return pool_impl<true>(x, kh, kw, sh, sw, pad, act);
+}
+
+Tensor poolavg(const Tensor& x, int32_t kh, int32_t kw, int32_t sh, int32_t sw,
+               Padding pad, Activation act) {
+  return pool_impl<false>(x, kh, kw, sh, sw, pad, act);
+}
+
+Tensor transpose(const Tensor& x, std::span<const int32_t> perm) {
+  const int rank = x.rank();
+  TENSAT_CHECK(static_cast<int>(perm.size()) == rank, "transpose: bad perm size");
+  std::vector<int32_t> dims(rank);
+  for (int d = 0; d < rank; ++d) dims[d] = x.dims()[perm[d]];
+  Tensor out(std::move(dims));
+  std::vector<int32_t> out_idx(rank, 0), in_idx(rank, 0);
+  for (int64_t flat = 0; flat < out.volume(); ++flat) {
+    int64_t rem = flat;
+    for (int d = rank - 1; d >= 0; --d) {
+      out_idx[d] = static_cast<int32_t>(rem % out.dims()[d]);
+      rem /= out.dims()[d];
+    }
+    for (int d = 0; d < rank; ++d) in_idx[perm[d]] = out_idx[d];
+    out.data()[flat] = x.at(in_idx);
+  }
+  return out;
+}
+
+Tensor enlarge(const Tensor& x, int32_t ref_kh, int32_t ref_kw) {
+  TENSAT_CHECK(x.rank() == 4, "enlarge: rank must be 4");
+  const int32_t co = x.dims()[0], ci = x.dims()[1], kh = x.dims()[2], kw = x.dims()[3];
+  TENSAT_CHECK(ref_kh >= kh && ref_kw >= kw, "enlarge: reference smaller than kernel");
+  TENSAT_CHECK((ref_kh - kh) % 2 == 0 && (ref_kw - kw) % 2 == 0,
+               "enlarge: padding must be symmetric");
+  const int32_t off_h = (ref_kh - kh) / 2, off_w = (ref_kw - kw) / 2;
+  Tensor out({co, ci, ref_kh, ref_kw});
+  for (int32_t a = 0; a < co; ++a)
+    for (int32_t b = 0; b < ci; ++b)
+      for (int32_t y = 0; y < kh; ++y)
+        for (int32_t z = 0; z < kw; ++z)
+          out.at4(a, b, y + off_h, z + off_w) = x.at4(a, b, y, z);
+  return out;
+}
+
+Tensor concat(int32_t axis, std::span<const Tensor* const> inputs) {
+  TENSAT_CHECK(!inputs.empty(), "concat: no inputs");
+  const int rank = inputs[0]->rank();
+  std::vector<int32_t> dims = inputs[0]->dims();
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    TENSAT_CHECK(inputs[i]->rank() == rank, "concat: rank mismatch");
+    for (int d = 0; d < rank; ++d)
+      if (d != axis)
+        TENSAT_CHECK(inputs[i]->dims()[d] == dims[d], "concat: dim mismatch at " << d);
+    dims[axis] += inputs[i]->dims()[axis];
+  }
+  Tensor out(std::move(dims));
+  // Copy slabs: outer = product of dims before axis; inner = after axis.
+  int64_t outer = 1, inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= out.dims()[d];
+  for (int d = axis + 1; d < rank; ++d) inner *= out.dims()[d];
+  int64_t axis_off = 0;
+  for (const Tensor* t : inputs) {
+    const int64_t t_axis = t->dims()[axis];
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = t->data().data() + o * t_axis * inner;
+      float* dst = out.data().data() + (o * out.dims()[axis] + axis_off) * inner;
+      std::copy(src, src + t_axis * inner, dst);
+    }
+    axis_off += t_axis;
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> split_at(const Tensor& x, int32_t axis, int32_t pos) {
+  const int rank = x.rank();
+  TENSAT_CHECK(axis >= 0 && axis < rank, "split: bad axis");
+  TENSAT_CHECK(pos > 0 && pos < x.dims()[axis], "split: bad position " << pos);
+  std::vector<int32_t> d0 = x.dims(), d1 = x.dims();
+  d0[axis] = pos;
+  d1[axis] = x.dims()[axis] - pos;
+  Tensor a(std::move(d0)), b(std::move(d1));
+  int64_t outer = 1, inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= x.dims()[d];
+  for (int d = axis + 1; d < rank; ++d) inner *= x.dims()[d];
+  const int64_t ax = x.dims()[axis];
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = x.data().data() + o * ax * inner;
+    std::copy(src, src + pos * inner, a.data().data() + o * pos * inner);
+    std::copy(src + pos * inner, src + ax * inner,
+              b.data().data() + o * (ax - pos) * inner);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+Tensor reshape(const Tensor& x, std::vector<int32_t> dims) {
+  Tensor out(std::move(dims));
+  TENSAT_CHECK(out.volume() == x.volume(), "reshape: volume mismatch");
+  std::copy(x.data().begin(), x.data().end(), out.data().begin());
+  return out;
+}
+
+Tensor random_tensor(std::vector<int32_t> dims, uint64_t seed) {
+  Tensor out(std::move(dims));
+  Rng rng(seed);
+  for (float& v : out.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return out;
+}
+
+}  // namespace tensat

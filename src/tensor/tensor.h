@@ -1,0 +1,79 @@
+// A minimal dense float tensor and the reference (CPU, loop-nest)
+// implementations of every operator in the language. This is the semantic
+// ground truth that the rewrite-rule property tests check against: if a
+// rewrite changes any output tensor, the rule is wrong.
+//
+// Performance is irrelevant here; clarity and obvious correctness are the
+// point. Layout is row-major, NCHW for 4-D tensors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lang/op.h"
+
+namespace tensat {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int32_t> dims);
+  Tensor(std::vector<int32_t> dims, std::vector<float> values);
+
+  [[nodiscard]] const std::vector<int32_t>& dims() const { return dims_; }
+  [[nodiscard]] int rank() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] int64_t volume() const { return static_cast<int64_t>(data_.size()); }
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+  [[nodiscard]] std::span<float> data() { return data_; }
+
+  float& at(std::span<const int32_t> idx);
+  [[nodiscard]] float at(std::span<const int32_t> idx) const;
+
+  // Convenience accessors for common ranks.
+  float& at2(int32_t i, int32_t j);
+  [[nodiscard]] float at2(int32_t i, int32_t j) const;
+  float& at4(int32_t a, int32_t b, int32_t c, int32_t d);
+  [[nodiscard]] float at4(int32_t a, int32_t b, int32_t c, int32_t d) const;
+
+  /// Max absolute elementwise difference; requires equal dims.
+  [[nodiscard]] static float max_abs_diff(const Tensor& a, const Tensor& b);
+
+ private:
+  [[nodiscard]] int64_t offset(std::span<const int32_t> idx) const;
+  std::vector<int32_t> dims_;
+  std::vector<float> data_;
+};
+
+// ---- Reference operator implementations -----------------------------------
+
+Tensor ewadd(const Tensor& a, const Tensor& b);
+Tensor ewmul(const Tensor& a, const Tensor& b);
+/// Matmul over rank 2 or 3 operands (rank-3 = leading batch dim; a rank-2
+/// operand broadcasts over the other's batch), with a fused activation.
+Tensor matmul(const Tensor& a, const Tensor& b, Activation act);
+/// Grouped 2-D convolution, NCHW input (n,c,h,w), weight (cout, c/groups,
+/// kh, kw); groups inferred from the channel ratio. SAME padding follows the
+/// TensorFlow convention (total pad split low/high).
+Tensor conv2d(const Tensor& x, const Tensor& w, int32_t stride_h, int32_t stride_w,
+              Padding pad, Activation act);
+Tensor activation(const Tensor& x, Activation act);
+Tensor poolmax(const Tensor& x, int32_t kh, int32_t kw, int32_t sh, int32_t sw,
+               Padding pad, Activation act);
+/// Average pooling; with SAME padding, out-of-bounds taps are excluded from
+/// the average (count over valid elements).
+Tensor poolavg(const Tensor& x, int32_t kh, int32_t kw, int32_t sh, int32_t sw,
+               Padding pad, Activation act);
+Tensor transpose(const Tensor& x, std::span<const int32_t> perm);
+/// Zero-pads a conv kernel (cout,cin,kh,kw) symmetrically to the reference
+/// kernel's spatial size.
+Tensor enlarge(const Tensor& x, int32_t ref_kh, int32_t ref_kw);
+Tensor concat(int32_t axis, std::span<const Tensor* const> inputs);
+/// Splits along `axis` at `pos` (first half gets [0,pos)).
+std::pair<Tensor, Tensor> split_at(const Tensor& x, int32_t axis, int32_t pos);
+Tensor reshape(const Tensor& x, std::vector<int32_t> dims);
+
+/// Deterministic pseudo-random fill in [-1, 1] derived from `seed`.
+Tensor random_tensor(std::vector<int32_t> dims, uint64_t seed);
+
+}  // namespace tensat

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost.h"
+#include "rewrite/rules.h"
+#include "taso/graph_rewrite.h"
+
+namespace tensat {
+namespace {
+
+TEST(GraphMatch, FindsAllSites) {
+  Graph g;
+  const Id x = g.input("x", {4, 4});
+  const Id w1 = g.weight("w1", {4, 4});
+  const Id w2 = g.weight("w2", {4, 4});
+  g.add_root(g.relu(g.matmul(x, w1)));
+  g.add_root(g.relu(g.matmul(x, w2)));
+  Graph pat(GraphKind::kPattern);
+  const Id root = parse_into(pat, "(relu (matmul 0 ?a ?b))");
+  EXPECT_EQ(match_graph_pattern(g, pat, root).size(), 2u);
+}
+
+TEST(GraphMatch, VariableConsistencyOnConcrete) {
+  Graph g;
+  const Id a = g.input("a", {2, 2});
+  const Id b = g.input("b", {2, 2});
+  g.add_root(g.ewadd(a, a));
+  g.add_root(g.ewadd(a, b));
+  Graph pat(GraphKind::kPattern);
+  const Id root = parse_into(pat, "(ewadd ?x ?x)");
+  const auto matches = match_graph_pattern(g, pat, root);
+  ASSERT_EQ(matches.size(), 1u);
+}
+
+TEST(GraphMatch, MultiPatternTuplesShareVars) {
+  Graph g;
+  const Id x = g.input("x", {4, 4});
+  const Id y = g.input("y", {4, 4});
+  const Id w1 = g.weight("w1", {4, 4});
+  const Id w2 = g.weight("w2", {4, 4});
+  g.add_root(g.matmul(x, w1));
+  g.add_root(g.matmul(x, w2));
+  g.add_root(g.matmul(y, w1));
+  const auto& rules = multi_pattern_rules();
+  const auto it = std::find_if(rules.begin(), rules.end(), [](const Rewrite& r) {
+    return r.name == "multi-matmul-share-lhs";
+  });
+  ASSERT_NE(it, rules.end());
+  const auto tuples = find_rule_applications(g, *it);
+  // Shared-lhs pairs among {(x,w1),(x,w2),(y,w1)}: only (x,w1)x(x,w2) in
+  // both orders.
+  EXPECT_EQ(tuples.size(), 2u);
+}
+
+TEST(GraphApply, RewriteReplacesUsesEverywhere) {
+  // x + (a*2)/... simpler: rewrite relu(matmul0) -> matmul1 and check both
+  // uses see the fused node.
+  Graph g;
+  const Id x = g.input("x", {4, 4});
+  const Id w = g.weight("w", {4, 4});
+  const Id r = g.relu(g.matmul(x, w));
+  g.add_root(g.ewadd(r, x));
+  g.add_root(g.ewmul(r, x));
+  const Rewrite rule = make_rewrite("fuse", "(relu (matmul 0 ?a ?b))",
+                                    "(matmul 1 ?a ?b)");
+  const auto tuples = find_rule_applications(g, rule);
+  ASSERT_EQ(tuples.size(), 1u);
+  const auto out = apply_to_graph(g, rule, tuples[0]);
+  ASSERT_TRUE(out.has_value());
+  const auto hist = out->op_histogram();
+  EXPECT_EQ(hist.count(Op::kRelu), 0u);
+  EXPECT_EQ(hist.at(Op::kMatmul), 1);
+  EXPECT_EQ(out->roots().size(), 2u);
+}
+
+TEST(GraphApply, ConditionBlocksGroupedConv) {
+  // conv-concat-cout must not fire on grouped convolutions.
+  Graph g;
+  const Id x = g.input("x", {1, 8, 6, 6});
+  const Id w1 = g.weight("w1", {4, 4, 3, 3});  // groups = 2
+  const Id w2 = g.weight("w2", {4, 4, 3, 3});
+  g.add_root(g.concat(1, {g.conv(x, w1, 1, 1, kPadSame), g.conv(x, w2, 1, 1, kPadSame)}));
+  const auto& rules = default_rules();
+  const auto it = std::find_if(rules.begin(), rules.end(), [](const Rewrite& r) {
+    return r.name == "conv-concat-cout-fwd";
+  });
+  ASSERT_NE(it, rules.end());
+  const auto tuples = find_rule_applications(g, *it);
+  ASSERT_GE(tuples.size(), 1u);
+  EXPECT_FALSE(apply_to_graph(g, *it, tuples[0]).has_value());
+}
+
+TEST(GraphApply, ShapeCheckBlocksBadInstantiation) {
+  // matmul-concat-rows-3d on 2-D operands must fail the shape check.
+  Graph g;
+  const Id a = g.input("a", {4, 5});
+  const Id b = g.input("b", {4, 5});
+  const Id w = g.weight("w", {5, 3});
+  g.add_root(g.concat(1, {g.matmul(a, w), g.matmul(b, w)}));
+  const auto& rules = default_rules();
+  const auto it = std::find_if(rules.begin(), rules.end(), [](const Rewrite& r) {
+    return r.name == "matmul-concat-rows-3d-fwd";
+  });
+  ASSERT_NE(it, rules.end());
+  for (const auto& tuple : find_rule_applications(g, *it))
+    EXPECT_FALSE(apply_to_graph(g, *it, tuple).has_value());
+}
+
+TEST(GraphApply, MultiPatternCreatesSplit) {
+  Graph g;
+  const Id x = g.input("x", {8, 16});
+  const Id w1 = g.weight("w1", {16, 16});
+  const Id w2 = g.weight("w2", {16, 16});
+  g.add_root(g.matmul(x, w1));
+  g.add_root(g.matmul(x, w2));
+  const auto& rules = multi_pattern_rules();
+  const auto it = std::find_if(rules.begin(), rules.end(), [](const Rewrite& r) {
+    return r.name == "multi-matmul-share-lhs";
+  });
+  const auto tuples = find_rule_applications(g, *it);
+  ASSERT_GE(tuples.size(), 1u);
+  const auto out = apply_to_graph(g, *it, tuples[0]);
+  ASSERT_TRUE(out.has_value());
+  const auto hist = out->op_histogram();
+  EXPECT_EQ(hist.at(Op::kSplit), 1);
+  EXPECT_EQ(hist.at(Op::kSplit0), 1);
+  EXPECT_EQ(hist.at(Op::kSplit1), 1);
+  EXPECT_EQ(hist.at(Op::kMatmul), 1);  // merged
+  // Both roots preserved, shapes unchanged.
+  ASSERT_EQ(out->roots().size(), 2u);
+  EXPECT_EQ(out->info(out->roots()[0]).shape, g.info(g.roots()[0]).shape);
+}
+
+TEST(GraphApply, MergedGraphCheaper) {
+  // End-to-end economics: the merged matmul graph costs less under the T4
+  // model (this is what both TASO and TENSAT exploit).
+  Graph g;
+  const Id x = g.input("x", {64, 512});
+  const Id w1 = g.weight("w1", {512, 512});
+  const Id w2 = g.weight("w2", {512, 512});
+  g.add_root(g.matmul(x, w1));
+  g.add_root(g.matmul(x, w2));
+  const auto& rules = multi_pattern_rules();
+  const auto it = std::find_if(rules.begin(), rules.end(), [](const Rewrite& r) {
+    return r.name == "multi-matmul-share-lhs";
+  });
+  const auto tuples = find_rule_applications(g, *it);
+  ASSERT_GE(tuples.size(), 1u);
+  const auto out = apply_to_graph(g, *it, tuples[0]);
+  ASSERT_TRUE(out.has_value());
+  const T4CostModel model;
+  EXPECT_LT(graph_cost(*out, model), graph_cost(g, model));
+}
+
+}  // namespace
+}  // namespace tensat

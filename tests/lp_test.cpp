@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "ilp/lp.h"
+#include "support/rng.h"
+
+namespace tensat {
+namespace {
+
+TEST(Lp, UnconstrainedAtBounds) {
+  // min x - y with x,y in [0,2]: x=0, y=2.
+  LinearProgram lp;
+  lp.add_var(0, 2, 1.0);
+  lp.add_var(0, 2, -1.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-7);
+}
+
+TEST(Lp, TextbookTwoVar) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Classic Dantzig example: optimum (2, 6) with value 36.
+  LinearProgram lp;
+  lp.add_var(0, kInf, -3.0);
+  lp.add_var(0, kInf, -5.0);
+  lp.add_row({{0, 1.0}}, -kInf, 4.0);
+  lp.add_row({{1, 2.0}}, -kInf, 12.0);
+  lp.add_row({{0, 3.0}, {1, 2.0}}, -kInf, 18.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -36.0, 1e-6);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 6.0, 1e-6);
+}
+
+TEST(Lp, EqualityConstraint) {
+  // min x + 2y s.t. x + y = 3, 0 <= x,y <= 2 -> x=2, y=1.
+  LinearProgram lp;
+  lp.add_var(0, 2, 1.0);
+  lp.add_var(0, 2, 2.0);
+  lp.add_row({{0, 1.0}, {1, 1.0}}, 3.0, 3.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 4.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-7);
+}
+
+TEST(Lp, RangeRow) {
+  // min x s.t. 1 <= x + y <= 2, y in [0, 0.5], x >= 0 -> x = 0.5.
+  LinearProgram lp;
+  lp.add_var(0, kInf, 1.0);
+  lp.add_var(0, 0.5, 0.0);
+  lp.add_row({{0, 1.0}, {1, 1.0}}, 1.0, 2.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.5, 1e-7);
+}
+
+TEST(Lp, GreaterEqualRow) {
+  // min 2x + 3y s.t. x + y >= 4, x <= 3, y <= 3 -> (3,1) value 9.
+  LinearProgram lp;
+  lp.add_var(0, 3, 2.0);
+  lp.add_var(0, 3, 3.0);
+  lp.add_row({{0, 1.0}, {1, 1.0}}, 4.0, kInf);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 9.0, 1e-6);
+}
+
+TEST(Lp, DetectsInfeasible) {
+  // x >= 3 with x <= 1 is infeasible (via rows).
+  LinearProgram lp;
+  lp.add_var(0, 1, 1.0);
+  lp.add_row({{0, 1.0}}, 3.0, kInf);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Lp, DetectsInfeasibleEqualitySystem) {
+  // x + y = 1 and x + y = 2 simultaneously.
+  LinearProgram lp;
+  lp.add_var(0, kInf, 0.0);
+  lp.add_var(0, kInf, 0.0);
+  lp.add_row({{0, 1.0}, {1, 1.0}}, 1.0, 1.0);
+  lp.add_row({{0, 1.0}, {1, 1.0}}, 2.0, 2.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Lp, DetectsUnbounded) {
+  // min -x with x >= 0 unbounded below.
+  LinearProgram lp;
+  lp.add_var(0, kInf, -1.0);
+  lp.add_row({{0, 1.0}}, 0.0, kInf);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Lp, DegenerateVertexTerminates) {
+  // Multiple redundant constraints through one vertex (degeneracy stress).
+  LinearProgram lp;
+  lp.add_var(0, kInf, -1.0);
+  lp.add_var(0, kInf, -1.0);
+  lp.add_row({{0, 1.0}, {1, 1.0}}, -kInf, 2.0);
+  lp.add_row({{0, 1.0}, {1, 1.0}}, -kInf, 2.0);
+  lp.add_row({{0, 2.0}, {1, 2.0}}, -kInf, 4.0);
+  lp.add_row({{0, 1.0}}, -kInf, 1.0);
+  lp.add_row({{1, 1.0}}, -kInf, 1.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-6);
+}
+
+TEST(Lp, ExtractionShapedProblem) {
+  // A miniature of the extraction LP: two options in the root class, the
+  // cheaper requiring a child. x0=5, x1=3+child(1) -> picks x1 chain (4).
+  LinearProgram lp;
+  const int x0 = lp.add_var(0, 1, 5.0);
+  const int x1 = lp.add_var(0, 1, 3.0);
+  const int c = lp.add_var(0, 1, 1.0);
+  lp.add_row({{x0, 1.0}, {x1, 1.0}}, 1.0, 1.0);   // root
+  lp.add_row({{x1, 1.0}, {c, -1.0}}, -kInf, 0.0);  // x1 needs c
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 4.0, 1e-7);
+  EXPECT_NEAR(r.x[x1], 1.0, 1e-7);
+  EXPECT_NEAR(r.x[c], 1.0, 1e-7);
+}
+
+TEST(Lp, FeasibleHelperAgrees) {
+  LinearProgram lp;
+  lp.add_var(0, 1, 1.0);
+  lp.add_row({{0, 1.0}}, 0.5, kInf);
+  EXPECT_TRUE(lp.feasible({0.7}));
+  EXPECT_FALSE(lp.feasible({0.2}));
+  EXPECT_FALSE(lp.feasible({1.5}));
+}
+
+// Randomized property: on random feasible-by-construction LPs, the simplex
+// optimum is never worse than any sampled feasible point.
+TEST(Lp, NeverWorseThanSampledFeasiblePoints) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 2 + static_cast<int>(rng.below(4));
+    LinearProgram lp;
+    for (int j = 0; j < n; ++j) lp.add_var(0.0, 1.0, rng.uniform(-2.0, 2.0));
+    // Random <= rows, each satisfied by the all-0.3 point by construction.
+    std::vector<double> base(n, 0.3);
+    for (int r = 0; r < 3; ++r) {
+      LinearProgram::Row row;
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double coef = rng.uniform(-1.0, 1.0);
+        row.terms.emplace_back(j, coef);
+        lhs += coef * 0.3;
+      }
+      row.lo = -kInf;
+      row.hi = lhs + rng.uniform(0.1, 1.0);
+      lp.rows.push_back(row);
+    }
+    const LpResult res = solve_lp(lp);
+    ASSERT_EQ(res.status, LpStatus::kOptimal) << "trial " << trial;
+    ASSERT_TRUE(lp.feasible(res.x, 1e-5)) << "trial " << trial;
+    for (int s = 0; s < 50; ++s) {
+      std::vector<double> candidate(n);
+      for (int j = 0; j < n; ++j) candidate[j] = rng.uniform();
+      if (!lp.feasible(candidate)) continue;
+      EXPECT_LE(res.objective, lp.objective_value(candidate) + 1e-6)
+          << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tensat

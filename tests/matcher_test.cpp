@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "egraph/egraph.h"
+#include "lang/parse.h"
+#include "rewrite/matcher.h"
+#include "rewrite/rules.h"
+
+namespace tensat {
+namespace {
+
+struct Fixture {
+  Graph g;
+  EGraph eg;
+  std::unordered_map<Id, Id> mapping;
+
+  explicit Fixture(const std::function<void(Graph&)>& build) {
+    build(g);
+    mapping = eg.add_graph(g);
+  }
+  Id cls(Id gid) const { return eg.find(mapping.at(gid)); }
+};
+
+TEST(Matcher, MatchesSimplePattern) {
+  Fixture f([](Graph& g) {
+    const Id a = g.input("a", {2, 2});
+    const Id b = g.input("b", {2, 2});
+    g.add_root(g.ewadd(a, b));
+  });
+  Graph pat(GraphKind::kPattern);
+  const Id root = parse_into(pat, "(ewadd ?x ?y)");
+  const auto matches = search_pattern(f.eg, pat, root);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].subst.bindings().size(), 2u);
+}
+
+TEST(Matcher, VariableConsistency) {
+  // (ewadd ?x ?x) must only match ewadd with equal operand classes.
+  Fixture f([](Graph& g) {
+    const Id a = g.input("a", {2, 2});
+    const Id b = g.input("b", {2, 2});
+    g.add_root(g.ewadd(a, b));
+    g.add_root(g.ewadd(a, a));
+  });
+  Graph pat(GraphKind::kPattern);
+  const Id root = parse_into(pat, "(ewadd ?x ?x)");
+  const auto matches = search_pattern(f.eg, pat, root);
+  ASSERT_EQ(matches.size(), 1u);
+}
+
+TEST(Matcher, LiteralNumMustMatch) {
+  Fixture f([](Graph& g) {
+    const Id a = g.input("a", {2, 2});
+    const Id b = g.weight("b", {2, 2});
+    g.add_root(g.matmul(a, b, kActRelu));
+  });
+  Graph pat(GraphKind::kPattern);
+  EXPECT_EQ(search_pattern(f.eg, pat, parse_into(pat, "(matmul 0 ?a ?b)")).size(), 0u);
+  EXPECT_EQ(search_pattern(f.eg, pat, parse_into(pat, "(matmul 1 ?a ?b)")).size(), 1u);
+  // A variable in the parameter position matches any activation.
+  EXPECT_EQ(search_pattern(f.eg, pat, parse_into(pat, "(matmul ?act ?a ?b)")).size(),
+            1u);
+}
+
+TEST(Matcher, LiteralStrMustMatch) {
+  Fixture f([](Graph& g) {
+    const Id a = g.input("a", {2, 3});
+    g.add_root(g.transpose(a, {1, 0}));
+  });
+  Graph pat(GraphKind::kPattern);
+  EXPECT_EQ(search_pattern(f.eg, pat, parse_into(pat, "(transpose ?x 1_0)")).size(), 1u);
+  EXPECT_EQ(search_pattern(f.eg, pat, parse_into(pat, "(transpose ?x 0_1)")).size(), 0u);
+}
+
+TEST(Matcher, NestedPattern) {
+  Fixture f([](Graph& g) {
+    const Id a = g.input("a", {2, 2});
+    const Id b = g.weight("b", {2, 2});
+    g.add_root(g.relu(g.matmul(a, b)));
+  });
+  Graph pat(GraphKind::kPattern);
+  const Id root = parse_into(pat, "(relu (matmul 0 ?a ?b))");
+  const auto matches = search_pattern(f.eg, pat, root);
+  ASSERT_EQ(matches.size(), 1u);
+}
+
+TEST(Matcher, MatchesThroughMergedClasses) {
+  // Assert the equality a = tanh(a); the class of `a` then also contains a
+  // tanh e-node, so (relu (tanh ?x)) matches relu(a) — something no single
+  // concrete term in the original graph exhibits. This is the extra proving
+  // power of e-graph matching (paper §2.3).
+  Fixture f([](Graph& g) {
+    const Id a = g.input("a", {2, 2});
+    g.add_root(g.relu(a));
+    g.add_root(g.tanh(a));
+  });
+  Graph h;
+  const Id a2 = h.input("a", {2, 2});
+  const Id t = h.tanh(a2);
+  h.add_root(t);
+  auto mapping = f.eg.add_graph(h);
+  f.eg.merge(mapping.at(a2), mapping.at(t));
+  f.eg.rebuild();
+  Graph pat(GraphKind::kPattern);
+  const Id root = parse_into(pat, "(relu (tanh ?x))");
+  EXPECT_EQ(search_pattern(f.eg, pat, root).size(), 1u);
+}
+
+TEST(Matcher, SkipsFilteredNodes) {
+  Fixture f([](Graph& g) {
+    const Id a = g.input("a", {2, 2});
+    g.add_root(g.relu(a));
+  });
+  Graph pat(GraphKind::kPattern);
+  const Id root = parse_into(pat, "(relu ?x)");
+  ASSERT_EQ(search_pattern(f.eg, pat, root).size(), 1u);
+  // Filter the relu node; the match disappears.
+  for (Id cls : f.eg.canonical_classes()) {
+    const auto& nodes = f.eg.eclass(cls).nodes;
+    for (size_t i = 0; i < nodes.size(); ++i)
+      if (nodes[i].node.op == Op::kRelu) f.eg.set_filtered(cls, i);
+  }
+  EXPECT_EQ(search_pattern(f.eg, pat, root).size(), 0u);
+}
+
+TEST(Matcher, MultipleMatchesEnumerated) {
+  Fixture f([](Graph& g) {
+    const Id x = g.input("x", {4, 4});
+    const Id w1 = g.weight("w1", {4, 4});
+    const Id w2 = g.weight("w2", {4, 4});
+    const Id w3 = g.weight("w3", {4, 4});
+    g.add_root(g.matmul(x, w1));
+    g.add_root(g.matmul(x, w2));
+    g.add_root(g.matmul(x, w3));
+  });
+  Graph pat(GraphKind::kPattern);
+  const Id root = parse_into(pat, "(matmul ?act ?a ?b)");
+  EXPECT_EQ(search_pattern(f.eg, pat, root).size(), 3u);
+}
+
+TEST(Matcher, MatchLimitRespected) {
+  Fixture f([](Graph& g) {
+    const Id x = g.input("x", {4, 4});
+    for (int i = 0; i < 10; ++i)
+      g.add_root(g.matmul(x, g.weight("w" + std::to_string(i), {4, 4})));
+  });
+  Graph pat(GraphKind::kPattern);
+  const Id root = parse_into(pat, "(matmul ?act ?a ?b)");
+  SearchLimits limits;
+  limits.max_matches = 4;
+  EXPECT_EQ(search_pattern(f.eg, pat, root, limits).size(), 4u);
+}
+
+TEST(Matcher, InstantiateAddsTarget) {
+  Fixture f([](Graph& g) {
+    const Id a = g.input("a", {2, 2});
+    const Id b = g.input("b", {2, 2});
+    g.add_root(g.ewadd(a, b));
+  });
+  Graph pat(GraphKind::kPattern);
+  const Id src = parse_into(pat, "(ewadd ?x ?y)");
+  const Id dst = parse_into(pat, "(ewadd ?y ?x)");
+  auto matches = search_pattern(f.eg, pat, src);
+  ASSERT_EQ(matches.size(), 1u);
+  auto target = instantiate(f.eg, pat, dst, matches[0].subst);
+  ASSERT_TRUE(target.has_value());
+  // The flipped ewadd is a distinct class until merged.
+  EXPECT_NE(f.eg.find(*target), f.eg.find(matches[0].root));
+  f.eg.merge(*target, matches[0].root);
+  f.eg.rebuild();
+  EXPECT_EQ(f.eg.find(*target), f.eg.find(matches[0].root));
+}
+
+TEST(Matcher, InstantiateShapeCheckFails) {
+  // Instantiating (matmul ?x ?x) where ?x : 2x3 must fail the shape check.
+  Fixture f([](Graph& g) {
+    const Id a = g.input("a", {2, 3});
+    g.add_root(g.relu(a));
+  });
+  Graph pat(GraphKind::kPattern);
+  const Id src = parse_into(pat, "(relu ?x)");
+  const Id dst = parse_into(pat, "(matmul 0 ?x ?x)");
+  auto matches = search_pattern(f.eg, pat, src);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_FALSE(instantiate(f.eg, pat, dst, matches[0].subst).has_value());
+}
+
+}  // namespace
+}  // namespace tensat

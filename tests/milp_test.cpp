@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ilp/milp.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace tensat {
+namespace {
+
+TEST(Milp, PureLpPassesThrough) {
+  LinearProgram lp;
+  lp.add_var(0, 2, 1.0);
+  const MilpResult r = solve_milp(lp, {false});
+  EXPECT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.0, 1e-7);
+}
+
+TEST(Milp, RoundsViaBranching) {
+  // min -x - y s.t. 2x + 2y <= 3, x,y binary -> best integer point (1,0) or
+  // (0,1), value -1 (LP relaxation would give -1.5 at (0.75,0.75)).
+  LinearProgram lp;
+  lp.add_var(0, 1, -1.0);
+  lp.add_var(0, 1, -1.0);
+  lp.add_row({{0, 2.0}, {1, 2.0}}, -kInf, 3.0);
+  const MilpResult r = solve_milp(lp, {true, true});
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-6);
+  EXPECT_NEAR(r.x[0] + r.x[1], 1.0, 1e-6);
+}
+
+TEST(Milp, KnapsackOptimal) {
+  // Classic 0/1 knapsack: values {6,10,12}, weights {1,2,3}, capacity 5.
+  // Optimum picks items 2 and 3: value 22.
+  LinearProgram lp;
+  lp.add_var(0, 1, -6.0);
+  lp.add_var(0, 1, -10.0);
+  lp.add_var(0, 1, -12.0);
+  lp.add_row({{0, 1.0}, {1, 2.0}, {2, 3.0}}, -kInf, 5.0);
+  const MilpResult r = solve_milp(lp, {true, true, true});
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -22.0, 1e-6);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-6);
+}
+
+TEST(Milp, InfeasibleDetected) {
+  // x + y = 1 with x,y binary and x + y >= 2 impossible... use x+y=1 and
+  // x+y=2 rows.
+  LinearProgram lp;
+  lp.add_var(0, 1, 0.0);
+  lp.add_var(0, 1, 0.0);
+  lp.add_row({{0, 1.0}, {1, 1.0}}, 1.0, 1.0);
+  lp.add_row({{0, 1.0}, {1, 1.0}}, 2.0, 2.0);
+  EXPECT_EQ(solve_milp(lp, {true, true}).status, MilpStatus::kInfeasible);
+}
+
+TEST(Milp, FractionalOnlyFeasibleIsIntegerInfeasible) {
+  // 2x = 1 with x binary: LP feasible (x=0.5) but no integer point.
+  LinearProgram lp;
+  lp.add_var(0, 1, 1.0);
+  lp.add_row({{0, 2.0}}, 1.0, 1.0);
+  EXPECT_EQ(solve_milp(lp, {true}).status, MilpStatus::kInfeasible);
+}
+
+TEST(Milp, WarmStartBoundsSearch) {
+  LinearProgram lp;
+  lp.add_var(0, 1, -1.0);
+  lp.add_var(0, 1, -1.0);
+  lp.add_row({{0, 2.0}, {1, 2.0}}, -kInf, 3.0);
+  const std::vector<double> warm = {1.0, 0.0};
+  const MilpResult r = solve_milp(lp, {true, true}, {}, warm);
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-6);
+}
+
+TEST(Milp, InfeasibleWarmStartRejected) {
+  LinearProgram lp;
+  lp.add_var(0, 1, 1.0);
+  lp.add_row({{0, 1.0}}, 1.0, 1.0);
+  EXPECT_THROW(solve_milp(lp, {true}, {}, std::vector<double>{0.0}), Error);
+}
+
+TEST(Milp, MixedIntegerContinuous) {
+  // min x + t, x binary, t real in [0,1], t >= 0.5 - x.
+  // x=0 -> t=0.5 cost 0.5; x=1 -> t=0 cost 1. Optimum 0.5.
+  LinearProgram lp;
+  lp.add_var(0, 1, 1.0);  // x (binary)
+  lp.add_var(0, 1, 1.0);  // t (continuous)
+  lp.add_row({{0, 1.0}, {1, 1.0}}, 0.5, kInf);
+  const MilpResult r = solve_milp(lp, {true, false});
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.5, 1e-6);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-6);
+}
+
+TEST(Milp, TimeLimitReturnsIncumbent) {
+  // A solvable instance with a zero time budget and a warm start: must
+  // return the warm start as feasible incumbent with timed_out set.
+  LinearProgram lp;
+  lp.add_var(0, 1, -1.0);
+  lp.add_var(0, 1, -1.0);
+  lp.add_row({{0, 2.0}, {1, 2.0}}, -kInf, 3.0);
+  MilpOptions opt;
+  opt.time_limit_s = 0.0;
+  const std::vector<double> warm = {0.0, 1.0};
+  const MilpResult r = solve_milp(lp, {true, true}, opt, warm);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.status, MilpStatus::kFeasible);
+  EXPECT_NEAR(r.objective, -1.0, 1e-9);
+}
+
+/// Brute force over all binary assignments (continuous vars must be absent).
+double brute_force(const LinearProgram& lp) {
+  const int n = lp.num_vars();
+  double best = kInf;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<double> x(n);
+    for (int j = 0; j < n; ++j) x[j] = (mask >> j) & 1;
+    if (!lp.feasible(x)) continue;
+    best = std::min(best, lp.objective_value(x));
+  }
+  return best;
+}
+
+class MilpRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpRandomized, MatchesBruteForce) {
+  Rng rng(1000 + GetParam());
+  const int n = 4 + static_cast<int>(rng.below(5));  // 4..8 binaries
+  LinearProgram lp;
+  for (int j = 0; j < n; ++j) lp.add_var(0, 1, rng.uniform(-3.0, 3.0));
+  const int rows = 2 + static_cast<int>(rng.below(3));
+  for (int r = 0; r < rows; ++r) {
+    LinearProgram::Row row;
+    for (int j = 0; j < n; ++j)
+      if (rng.chance(0.7)) row.terms.emplace_back(j, rng.uniform(-2.0, 2.0));
+    if (row.terms.empty()) row.terms.emplace_back(0, 1.0);
+    row.lo = -kInf;
+    row.hi = rng.uniform(-0.5, 2.5);
+    lp.rows.push_back(row);
+  }
+  const double expected = brute_force(lp);
+  const MilpResult got = solve_milp(lp, std::vector<bool>(n, true));
+  if (expected == kInf) {
+    EXPECT_EQ(got.status, MilpStatus::kInfeasible) << "seed " << GetParam();
+  } else {
+    ASSERT_EQ(got.status, MilpStatus::kOptimal) << "seed " << GetParam();
+    EXPECT_NEAR(got.objective, expected, 1e-5) << "seed " << GetParam();
+    EXPECT_TRUE(lp.feasible(got.x, 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpRandomized, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace tensat

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/cost.h"
+#include "models/models.h"
+#include "tensor/interp.h"
+
+namespace tensat {
+namespace {
+
+TEST(Models, PaperSetHasSevenBenchmarks) {
+  const auto models = paper_models();
+  ASSERT_EQ(models.size(), 7u);
+  EXPECT_EQ(models[0].name, "NasRNN");
+  EXPECT_EQ(models[1].name, "BERT");
+  EXPECT_EQ(models[6].name, "Inception-v3");
+}
+
+TEST(Models, AllGraphsWellFormed) {
+  for (const ModelInfo& m : paper_models()) {
+    EXPECT_GT(m.graph.reachable_size(), 10u) << m.name;
+    ASSERT_FALSE(m.graph.roots().empty()) << m.name;
+    for (Id root : m.graph.roots())
+      EXPECT_EQ(m.graph.info(root).kind, VKind::kTensor) << m.name;
+  }
+}
+
+TEST(Models, BertContainsQkvMotif) {
+  // Three matmuls sharing the layer input (paper Fig. 8's merge target).
+  const Graph g = make_bert(1, 8, 16);
+  int matmuls = 0;
+  for (Id id : g.topo_order())
+    if (g.node(id).op == Op::kMatmul) ++matmuls;
+  EXPECT_GE(matmuls, 6);  // QKV + scores + ctx + out + 2 FFN
+}
+
+TEST(Models, NasrnnMatmulFarm) {
+  const Graph g = make_nasrnn(1, 2, 8);
+  const auto hist = g.op_histogram();
+  EXPECT_EQ(hist.at(Op::kMatmul), 16);  // 8 gates x 2 operands
+  EXPECT_GE(hist.at(Op::kEwmul) + hist.at(Op::kEwadd), 10);
+}
+
+TEST(Models, ResnextUsesGroupedConv) {
+  const Graph g = make_resnext50(1, 8, 8, 2);
+  bool found_grouped = false;
+  for (Id id : g.topo_order()) {
+    const TNode& n = g.node(id);
+    if (n.op != Op::kConv) continue;
+    const ValueInfo& x = g.info(n.children[4]);
+    const ValueInfo& w = g.info(n.children[5]);
+    if (x.shape[1] != w.shape[1]) found_grouped = true;
+  }
+  EXPECT_TRUE(found_grouped);
+}
+
+TEST(Models, SqueezenetFireMotif) {
+  const Graph g = make_squeezenet(1, 8, 8);
+  const auto hist = g.op_histogram();
+  EXPECT_GE(hist.at(Op::kConcat2), 1);  // expand 1x1 / 3x3 concat
+}
+
+TEST(Models, InceptionConcatsFourBranches) {
+  const Graph g = make_inception_v3(1, 8, 8);
+  const auto hist = g.op_histogram();
+  EXPECT_GE(hist.count(Op::kConcat4) ? hist.at(Op::kConcat4) : 0, 1);
+}
+
+TEST(Models, Vgg19HasSixteenConvsThreeFcs) {
+  const Graph g = make_vgg19(2, 32);
+  const auto hist = g.op_histogram();
+  EXPECT_EQ(hist.at(Op::kConv), 16);
+  EXPECT_EQ(hist.at(Op::kMatmul), 3);
+}
+
+TEST(Models, DifferentScalesDifferentCosts) {
+  const T4CostModel model;
+  const double small = graph_cost(make_bert(1, 8, 16), model);
+  const double large = graph_cost(make_bert(2, 64, 256), model);
+  EXPECT_LT(small, large);
+}
+
+TEST(Models, TinyModelsExecuteFinite) {
+  // VGG-19 covered here (largest tiny model).
+  const Graph g = make_vgg19(2, 32);
+  Interpreter interp(5);
+  const auto out = interp.run_roots(g);
+  ASSERT_EQ(out.size(), 1u);
+  for (float v : out[0].data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Models, DeterministicConstruction) {
+  const Graph a = make_nasnet_a(2, 8, 8);
+  const Graph b = make_nasnet_a(2, 8, 8);
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+}
+
+}  // namespace
+}  // namespace tensat

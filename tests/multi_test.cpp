@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "rewrite/multi.h"
+#include "rewrite/rules.h"
+#include "support/check.h"
+
+namespace tensat {
+namespace {
+
+TEST(Multi, CanonicalizationRenamesInTraversalOrder) {
+  Graph pat(GraphKind::kPattern);
+  const Id root = parse_into(pat, "(ewadd ?foo (ewmul ?bar ?foo))");
+  std::vector<std::pair<Symbol, Symbol>> rename;
+  const CanonicalPattern canon = canonicalize_pattern(pat, root, &rename);
+  EXPECT_EQ(canon.key, "(ewadd ?$0 (ewmul ?$1 ?$0))");
+  ASSERT_EQ(rename.size(), 2u);
+  EXPECT_EQ(rename[0].first.str(), "$0");
+  EXPECT_EQ(rename[0].second.str(), "foo");
+  EXPECT_EQ(rename[1].second.str(), "bar");
+}
+
+TEST(Multi, AlphaEquivalentPatternsShareCanonicalForm) {
+  Graph p1(GraphKind::kPattern), p2(GraphKind::kPattern);
+  const Id r1 = parse_into(p1, "(matmul ?act ?a ?b)");
+  const Id r2 = parse_into(p2, "(matmul ?mode ?x ?y)");
+  EXPECT_EQ(canonicalize_pattern(p1, r1, nullptr).key,
+            canonicalize_pattern(p2, r2, nullptr).key);
+}
+
+TEST(Multi, DistinctStructuresDiffer) {
+  Graph p1(GraphKind::kPattern), p2(GraphKind::kPattern);
+  const Id r1 = parse_into(p1, "(matmul ?act ?a ?b)");
+  const Id r2 = parse_into(p2, "(matmul ?act ?a ?a)");
+  EXPECT_NE(canonicalize_pattern(p1, r1, nullptr).key,
+            canonicalize_pattern(p2, r2, nullptr).key);
+}
+
+TEST(Multi, PlanDeduplicatesAcrossRules) {
+  // The two multi-pattern matmul rules share the canonical source pattern
+  // (matmul ?act ?a ?b) — the plan must search it once.
+  std::vector<Rewrite> rules;
+  rules.push_back(make_rewrite("r1", "(matmul ?act ?a ?b) (matmul ?act ?a ?c)",
+                               "(matmul ?act ?a ?b) (matmul ?act ?a ?c)"));
+  rules.push_back(make_rewrite("r2", "(matmul ?m ?x ?w) (matmul ?m ?y ?w)",
+                               "(matmul ?m ?x ?w) (matmul ?m ?y ?w)"));
+  const MultiPlan plan = build_multi_plan(rules);
+  EXPECT_EQ(plan.patterns.size(), 1u);  // all four sources are alpha-equivalent
+  EXPECT_EQ(plan.rule_sources[0].size(), 2u);
+  EXPECT_EQ(plan.rule_sources[1].size(), 2u);
+}
+
+TEST(Multi, DefaultRulesPlanIsShared) {
+  const auto& rules = default_rules();
+  const MultiPlan plan = build_multi_plan(rules);
+  size_t total_sources = 0;
+  for (const auto& s : plan.rule_sources) total_sources += s.size();
+  EXPECT_GT(total_sources, plan.patterns.size());  // dedup happened
+}
+
+TEST(Multi, DecanonicalizeMapsBack) {
+  Graph pat(GraphKind::kPattern);
+  const Id root = parse_into(pat, "(ewadd ?p ?q)");
+  std::vector<std::pair<Symbol, Symbol>> rename;
+  canonicalize_pattern(pat, root, &rename);
+  Subst canon_subst;
+  canon_subst.bind(Symbol("$0"), 7);
+  canon_subst.bind(Symbol("$1"), 9);
+  const Subst orig = decanonicalize(canon_subst, rename);
+  EXPECT_EQ(orig.get(Symbol("p")), std::optional<Id>(7));
+  EXPECT_EQ(orig.get(Symbol("q")), std::optional<Id>(9));
+}
+
+TEST(Multi, SubstMergeCompatibility) {
+  Subst a, b;
+  a.bind(Symbol("x"), 1);
+  b.bind(Symbol("x"), 1);
+  b.bind(Symbol("y"), 2);
+  auto merged = Subst::merged(a, b);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->get(Symbol("y")), std::optional<Id>(2));
+  Subst c;
+  c.bind(Symbol("x"), 3);  // conflicts
+  EXPECT_FALSE(Subst::merged(a, c).has_value());
+}
+
+TEST(Multi, RewriteFactoryValidations) {
+  EXPECT_THROW(make_rewrite("bad-count", "(relu ?x) (tanh ?x)", "(relu ?x)"), Error);
+  EXPECT_THROW(make_rewrite("unbound", "(relu ?x)", "(ewadd ?x ?y)"), Error);
+  const Rewrite ok = make_rewrite("ok", "(relu ?x)", "(relu ?x)");
+  EXPECT_FALSE(ok.is_multi());
+  const Rewrite multi = make_rewrite("m", "(relu ?x) (tanh ?x)", "(relu ?x) (tanh ?x)");
+  EXPECT_TRUE(multi.is_multi());
+}
+
+TEST(Multi, DefaultRulesWellFormed) {
+  const auto& rules = default_rules();
+  EXPECT_GE(rules.size(), 50u);
+  size_t multi = 0;
+  for (const Rewrite& r : rules) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_EQ(r.src_roots.size(), r.dst_roots.size());
+    if (r.is_multi()) ++multi;
+  }
+  EXPECT_GE(multi, 4u);  // the paper's multi-pattern rules are present
+}
+
+}  // namespace
+}  // namespace tensat

@@ -1,0 +1,107 @@
+// Parser robustness: arbitrary token soup must either parse or throw
+// tensat::Error — never crash, hang, or corrupt the graph. Also checks the
+// print -> parse -> print fixpoint on randomly generated patterns.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lang/parse.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace tensat {
+namespace {
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, RandomTokenSoupNeverCrashes) {
+  Rng rng(31337 + GetParam());
+  static const char* kTokens[] = {"(",      ")",       "ewadd",  "matmul", "conv",
+                                  "split",  "split0",  "relu",   "?x",     "?y",
+                                  "0",      "1",       "2",      "1_0",    "x@2_3",
+                                  "concat2", "transpose", "noop", "str",    "-5"};
+  std::string input;
+  const int len = 1 + static_cast<int>(rng.below(25));
+  for (int i = 0; i < len; ++i) {
+    input += kTokens[rng.below(std::size(kTokens))];
+    input += ' ';
+  }
+  Graph g(GraphKind::kPattern);
+  try {
+    const Id root = parse_into(g, input);
+    // If it parsed, the result must print and re-parse to the same form.
+    const std::string printed = g.to_sexpr(root);
+    Graph g2(GraphKind::kPattern);
+    const Id root2 = parse_into(g2, printed);
+    EXPECT_EQ(g2.to_sexpr(root2), printed);
+  } catch (const Error&) {
+    // Expected for malformed input.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 200));
+
+/// Random well-formed pattern generator.
+Id random_pattern(Graph& g, Rng& rng, int depth) {
+  if (depth <= 0 || rng.chance(0.3)) {
+    switch (rng.below(3)) {
+      case 0:
+        return g.var("v" + std::to_string(rng.below(4)));
+      case 1:
+        return g.num(static_cast<int64_t>(rng.range(0, 3)));
+      default:
+        return g.str("s" + std::to_string(rng.below(3)));
+    }
+  }
+  static const Op kOps[] = {Op::kEwadd, Op::kEwmul, Op::kRelu,    Op::kTanh,
+                            Op::kMatmul, Op::kConcat2, Op::kTranspose};
+  const Op op = kOps[rng.below(std::size(kOps))];
+  TNode node{op, 0, {}, {}};
+  for (int i = 0; i < op_arity(op); ++i)
+    node.children.push_back(random_pattern(g, rng, depth - 1));
+  return g.add(std::move(node));
+}
+
+class PrintParseRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrintParseRoundTrip, GeneratedPatterns) {
+  Rng rng(616 + GetParam());
+  Graph g(GraphKind::kPattern);
+  const Id root = random_pattern(g, rng, 4);
+  const std::string printed = g.to_sexpr(root);
+  Graph g2(GraphKind::kPattern);
+  const Id root2 = parse_into(g2, printed);
+  EXPECT_EQ(g2.to_sexpr(root2), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrintParseRoundTrip, ::testing::Range(0, 50));
+
+TEST(ParserEdge, DeeplyNestedInputIsFine) {
+  std::string deep;
+  constexpr int kDepth = 2000;
+  for (int i = 0; i < kDepth; ++i) deep += "(relu ";
+  deep += "?x";
+  for (int i = 0; i < kDepth; ++i) deep += ")";
+  Graph g(GraphKind::kPattern);
+  EXPECT_NO_THROW(parse_into(g, deep));
+  EXPECT_EQ(g.size(), kDepth + 1u);  // hash-consing cannot collapse a chain
+}
+
+TEST(ParserEdge, WhitespaceVariants) {
+  Graph g(GraphKind::kPattern);
+  const Id a = parse_into(g, "(ewadd ?x ?y)");
+  const Id b = parse_into(g, "  (ewadd\n\t?x    ?y\n)  ");
+  EXPECT_EQ(a, b);  // same hash-consed node
+}
+
+TEST(ParserEdge, NegativeNumbersAreNumLeaves) {
+  Graph g(GraphKind::kPattern);
+  const Id root = parse_into(g, "(ewadd ?x ?x)");
+  (void)root;
+  const Id n = parse_into(g, "-7");
+  EXPECT_EQ(g.node(n).op, Op::kNum);
+  EXPECT_EQ(g.node(n).num, -7);
+}
+
+}  // namespace
+}  // namespace tensat

@@ -1,0 +1,141 @@
+// Deeper rule properties than rules_soundness_test.cpp:
+//   * random SEQUENCES of rewrites stay semantics-preserving (compositions
+//     can break invariants single steps don't, e.g. stale concat histories),
+//   * rewrites preserve inferred output shapes across randomized dims,
+//   * every bidirectional pair is actually inverse-closed on the e-graph
+//     (applying fwd then rev returns to an e-class containing the original).
+#include <gtest/gtest.h>
+
+#include "rewrite/matcher.h"
+#include "rewrite/rules.h"
+#include "support/rng.h"
+#include "taso/graph_rewrite.h"
+#include "tensor/interp.h"
+
+namespace tensat {
+namespace {
+
+/// A randomized matmul/elementwise/concat workload graph.
+Graph random_graph(Rng& rng) {
+  Graph g;
+  const int32_t m = static_cast<int32_t>(rng.range(2, 5));
+  const int32_t k = static_cast<int32_t>(rng.range(2, 5));
+  const int32_t n = static_cast<int32_t>(rng.range(2, 5));
+  const Id x = g.input("x", {m, k});
+  const Id w1 = g.weight("w1", {k, n});
+  const Id w2 = g.weight("w2", {k, n});
+  std::vector<Id> pool = {g.matmul(x, w1), g.matmul(x, w2)};
+  for (int step = 0; step < 6; ++step) {
+    const Id a = pool[rng.below(pool.size())];
+    const Id b = pool[rng.below(pool.size())];
+    switch (rng.below(5)) {
+      case 0:
+        if (g.info(a).shape == g.info(b).shape) pool.push_back(g.ewadd(a, b));
+        break;
+      case 1:
+        if (g.info(a).shape == g.info(b).shape) pool.push_back(g.ewmul(a, b));
+        break;
+      case 2:
+        pool.push_back(g.relu(a));
+        break;
+      case 3:
+        pool.push_back(g.tanh(a));
+        break;
+      case 4:
+        if (g.info(a).rank() == 2) pool.push_back(g.transpose(a, {1, 0}));
+        break;
+    }
+  }
+  g.add_root(pool.back());
+  g.add_root(pool[pool.size() / 2]);
+  return g;
+}
+
+class RandomRewriteSequences : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomRewriteSequences, StaySemanticsPreserving) {
+  Rng rng(5000 + GetParam());
+  Graph g = random_graph(rng);
+  const auto baseline = Interpreter(7).run_roots(g);
+  const auto& rules = default_rules();
+
+  int applied = 0;
+  for (int step = 0; step < 6; ++step) {
+    // Gather every applicable (rule, site) pair and apply a random one.
+    std::vector<std::pair<const Rewrite*, std::vector<PatternMatch>>> options;
+    for (const Rewrite& rule : rules)
+      for (auto& tuple : find_rule_applications(g, rule))
+        options.emplace_back(&rule, std::move(tuple));
+    if (options.empty()) break;
+    std::optional<Graph> next;
+    const Rewrite* rule = nullptr;
+    for (int attempt = 0; attempt < 10 && !next; ++attempt) {
+      auto& [r, tuple] = options[rng.below(options.size())];
+      rule = r;
+      next = apply_to_graph(g, *r, tuple);
+    }
+    if (!next.has_value()) continue;
+    g = std::move(*next);
+    ++applied;
+
+    const auto outputs = Interpreter(7).run_roots(g);
+    ASSERT_EQ(outputs.size(), baseline.size());
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      ASSERT_EQ(outputs[i].dims(), baseline[i].dims())
+          << "after " << rule->name << " at step " << step;
+      EXPECT_LT(Tensor::max_abs_diff(outputs[i], baseline[i]), 1e-3)
+          << "after " << rule->name << " at step " << step;
+    }
+  }
+  EXPECT_GT(applied, 0) << "no rule ever applied on seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRewriteSequences, ::testing::Range(0, 25));
+
+class ShapePreservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShapePreservation, RewritesNeverChangeRootShapes) {
+  Rng rng(9000 + GetParam());
+  const Graph g = random_graph(rng);
+  for (const Rewrite& rule : default_rules()) {
+    for (const auto& tuple : find_rule_applications(g, rule)) {
+      auto next = apply_to_graph(g, rule, tuple);
+      if (!next.has_value()) continue;
+      ASSERT_EQ(next->roots().size(), g.roots().size()) << rule.name;
+      for (size_t i = 0; i < g.roots().size(); ++i)
+        EXPECT_EQ(next->info(next->roots()[i]).shape, g.info(g.roots()[i]).shape)
+            << rule.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapePreservation, ::testing::Range(0, 10));
+
+TEST(BidirectionalRules, RoundTripInEGraph) {
+  // For every -fwd/-rev pair: applying fwd on a seeded e-graph and then rev
+  // must merge back into the same class (trivially true when both fire, but
+  // verifies the pair is actually inverse-shaped and well-formed).
+  const auto& rules = default_rules();
+  int pairs = 0;
+  for (const Rewrite& fwd : rules) {
+    if (fwd.name.size() < 4 || fwd.name.substr(fwd.name.size() - 4) != "-fwd") continue;
+    const std::string rev_name = fwd.name.substr(0, fwd.name.size() - 4) + "-rev";
+    const auto rev = std::find_if(rules.begin(), rules.end(), [&](const Rewrite& r) {
+      return r.name == rev_name;
+    });
+    ASSERT_NE(rev, rules.end()) << "missing reverse for " << fwd.name;
+    // Source of fwd == target of rev and vice versa (as S-expressions).
+    ASSERT_EQ(fwd.src_roots.size(), rev->dst_roots.size());
+    for (size_t i = 0; i < fwd.src_roots.size(); ++i) {
+      EXPECT_EQ(fwd.pat.to_sexpr(fwd.src_roots[i]), rev->pat.to_sexpr(rev->dst_roots[i]))
+          << fwd.name;
+      EXPECT_EQ(fwd.pat.to_sexpr(fwd.dst_roots[i]), rev->pat.to_sexpr(rev->src_roots[i]))
+          << fwd.name;
+    }
+    ++pairs;
+  }
+  EXPECT_GT(pairs, 15);
+}
+
+}  // namespace
+}  // namespace tensat

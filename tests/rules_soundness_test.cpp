@@ -1,0 +1,186 @@
+// Property test: every rewrite rule in the default rule set preserves the
+// semantics of every graph it applies to. We build one "playground" graph
+// containing an instance of every motif the rules target (both directions),
+// enumerate each rule's applications on it with the concrete-graph matcher,
+// apply them, and compare all graph outputs against the reference
+// interpreter. A rule that never fires on the playground fails its test —
+// that keeps the playground and the rule set honest with each other.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rewrite/rules.h"
+#include "taso/graph_rewrite.h"
+#include "tensor/interp.h"
+
+namespace tensat {
+namespace {
+
+Graph playground() {
+  Graph g;
+  auto root = [&](Id id) { g.add_root(id); };
+
+  // ---- Elementwise algebra ----
+  const Id t1 = g.input("t1", {2, 3});
+  const Id t2 = g.input("t2", {2, 3});
+  const Id t3 = g.input("t3", {2, 3});
+  root(g.ewadd(g.ewadd(t1, t2), t3));
+  root(g.ewadd(t1, g.ewadd(t2, t3)));
+  root(g.ewmul(g.ewmul(t1, t2), t3));
+  root(g.ewmul(t1, g.ewmul(t2, t3)));
+  root(g.ewmul(g.ewadd(t1, t2), t3));
+  root(g.ewadd(g.ewmul(t1, t3), g.ewmul(t2, t3)));
+  root(g.relu(g.relu(t1)));
+
+  // ---- Matmul algebra ----
+  const Id ma = g.input("ma", {4, 5});
+  const Id mb = g.weight("mb", {5, 6});
+  const Id mc = g.weight("mc", {6, 3});
+  root(g.matmul(ma, g.matmul(mb, mc)));
+  root(g.matmul(g.matmul(ma, mb), mc));
+  const Id mb2 = g.weight("mb2", {5, 6});
+  root(g.matmul(ma, g.ewadd(mb, mb2)));
+  root(g.ewadd(g.matmul(ma, mb), g.matmul(ma, mb2)));
+  const Id ma2 = g.input("ma2", {4, 5});
+  root(g.matmul(g.ewadd(ma, ma2), mb));
+  root(g.ewadd(g.matmul(ma, mb), g.matmul(ma2, mb)));
+
+  // ---- Activation fusion ----
+  root(g.relu(g.matmul(ma, mb)));
+  root(g.matmul(ma, mb, kActRelu));
+  root(g.tanh(g.matmul(ma, mb)));
+  root(g.matmul(ma, mb, kActTanh));
+  root(g.sigmoid(g.matmul(ma, mb)));
+  root(g.matmul(ma, mb, kActSigmoid));
+
+  // ---- Transpose algebra ----
+  root(g.transpose(g.transpose(ma, {1, 0}), {1, 0}));
+  root(g.transpose(g.matmul(ma, mb), {1, 0}));
+  root(g.matmul(g.transpose(mb, {1, 0}), g.transpose(ma, {1, 0})));
+  root(g.transpose(g.ewadd(t1, t2), {1, 0}));
+  root(g.ewadd(g.transpose(t1, {1, 0}), g.transpose(t2, {1, 0})));
+  root(g.transpose(g.ewmul(t1, t2), {1, 0}));
+  root(g.ewmul(g.transpose(t1, {1, 0}), g.transpose(t2, {1, 0})));
+  root(g.relu(g.transpose(t1, {1, 0})));
+  root(g.transpose(g.relu(t1), {1, 0}));
+
+  // ---- Concat / split ----
+  const Id s1 = g.input("s1", {2, 3});
+  const Id s2 = g.input("s2", {2, 4});
+  const Id sp = g.split(1, g.concat(1, {s1, s2}));
+  root(g.split0(sp));
+  root(g.split1(sp));
+  root(g.concat(1, {g.split0(sp), g.split1(sp)}));
+  root(g.concat(1, {g.relu(t1), g.relu(t2)}));
+  root(g.relu(g.concat(1, {t1, t2})));
+  root(g.concat(1, {g.tanh(t1), g.tanh(t2)}));
+  root(g.tanh(g.concat(1, {t1, t2})));
+  root(g.concat(1, {g.sigmoid(t1), g.sigmoid(t2)}));
+  root(g.sigmoid(g.concat(1, {t1, t2})));
+  const Id t4 = g.input("t4", {2, 3});
+  root(g.concat(1, {g.ewadd(t1, t2), g.ewadd(t3, t4)}));
+  root(g.ewadd(g.concat(1, {t1, t3}), g.concat(1, {t2, t4})));
+  root(g.concat(1, {g.ewmul(t1, t2), g.ewmul(t3, t4)}));
+  root(g.ewmul(g.concat(1, {t1, t3}), g.concat(1, {t2, t4})));
+
+  // ---- Matmul merging via concat (2-D) ----
+  const Id x = g.input("x", {4, 5});
+  const Id w1 = g.weight("w1", {5, 3});
+  const Id w2 = g.weight("w2", {5, 2});
+  root(g.matmul(x, w1));
+  root(g.matmul(x, w2));
+  root(g.concat(1, {g.matmul(x, w1), g.matmul(x, w2)}));
+  root(g.matmul(x, g.concat(1, {w1, w2})));
+  const Id r1 = g.input("r1", {3, 5});
+  const Id r2 = g.input("r2", {2, 5});
+  const Id wr = g.weight("wr", {5, 4});
+  root(g.concat(0, {g.matmul(r1, wr), g.matmul(r2, wr)}));
+  root(g.matmul(g.concat(0, {r1, r2}), wr));
+
+  // ---- Matmul merging via concat (3-D / batched) ----
+  const Id xb = g.input("xb", {2, 3, 4});
+  const Id b1 = g.weight("b1", {2, 4, 2});
+  const Id b2 = g.weight("b2", {2, 4, 3});
+  root(g.concat(2, {g.matmul(xb, b1), g.matmul(xb, b2)}));
+  root(g.matmul(xb, g.concat(2, {b1, b2})));
+  const Id xb1 = g.input("xb1", {2, 3, 4});
+  const Id xb2 = g.input("xb2", {2, 2, 4});
+  const Id bw = g.weight("bw", {2, 4, 3});
+  root(g.concat(1, {g.matmul(xb1, bw), g.matmul(xb2, bw)}));
+  root(g.matmul(g.concat(1, {xb1, xb2}), bw));
+
+  // ---- Convolution merging ----
+  const Id x4 = g.input("x4", {1, 4, 6, 6});
+  const Id cw1 = g.weight("cw1", {3, 4, 3, 3});
+  const Id cw2 = g.weight("cw2", {5, 4, 3, 3});
+  root(g.conv(x4, cw1, 1, 1, kPadSame));
+  root(g.conv(x4, cw2, 1, 1, kPadSame));
+  root(g.concat(1, {g.conv(x4, cw1, 1, 1, kPadSame), g.conv(x4, cw2, 1, 1, kPadSame)}));
+  root(g.conv(x4, g.concat(0, {cw1, cw2}), 1, 1, kPadSame));
+  root(g.relu(g.conv(x4, cw1, 1, 1, kPadSame)));
+  root(g.conv(x4, cw1, 1, 1, kPadSame, kActRelu));
+  const Id x4b = g.input("x4b", {1, 4, 6, 6});
+  root(g.concat(0, {g.conv(x4, cw1, 1, 1, kPadSame), g.conv(x4b, cw1, 1, 1, kPadSame)}));
+  root(g.conv(g.concat(0, {x4, x4b}), cw1, 1, 1, kPadSame));
+  // Input-channel merging (paper Fig. 10).
+  const Id xa = g.input("xa", {1, 2, 6, 6});
+  const Id xc = g.input("xc", {1, 3, 6, 6});
+  const Id wa = g.weight("wa", {4, 2, 3, 3});
+  const Id wc = g.weight("wc", {4, 3, 3, 3});
+  root(g.ewadd(g.conv(xa, wa, 1, 1, kPadSame), g.conv(xc, wc, 1, 1, kPadSame)));
+  root(g.conv(g.concat(1, {xa, xc}), g.concat(1, {wa, wc}), 1, 1, kPadSame));
+  // Kernel enlarging (1x1 and 3x3 convs of the same input, SAME padding).
+  const Id ew1 = g.weight("ew1", {3, 4, 1, 1});
+  root(g.concat(1, {g.conv(x4, ew1, 1, 1, kPadSame), g.conv(x4, cw2, 1, 1, kPadSame)}));
+
+  // ---- Pooling ----
+  root(g.concat(1, {g.poolavg(xa, 3, 3, 1, 1, kPadSame), g.poolavg(xc, 3, 3, 1, 1, kPadSame)}));
+  root(g.poolavg(g.concat(1, {xa, xc}), 3, 3, 1, 1, kPadSame));
+  root(g.concat(1, {g.poolmax(xa, 3, 3, 1, 1, kPadSame), g.poolmax(xc, 3, 3, 1, 1, kPadSame)}));
+  root(g.poolmax(g.concat(1, {xa, xc}), 3, 3, 1, 1, kPadSame));
+
+  return g;
+}
+
+class RuleSoundness : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RuleSoundness, PreservesInterpreterSemantics) {
+  const Rewrite& rule = default_rules()[GetParam()];
+  if (!rule.numeric_checkable)
+    GTEST_SKIP() << "structural-only rule (see DESIGN.md): " << rule.name;
+
+  const Graph g = playground();
+  const auto baseline = Interpreter(99).run_roots(g);
+
+  auto applications = find_rule_applications(g, rule);
+  size_t applied = 0;
+  constexpr size_t kMaxChecked = 6;
+  for (const auto& tuple : applications) {
+    if (applied >= kMaxChecked) break;
+    auto rewritten = apply_to_graph(g, rule, tuple);
+    if (!rewritten.has_value()) continue;  // shape check / condition said no
+    ++applied;
+    const auto outputs = Interpreter(99).run_roots(*rewritten);
+    ASSERT_EQ(outputs.size(), baseline.size()) << rule.name;
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      ASSERT_EQ(outputs[i].dims(), baseline[i].dims()) << rule.name << " output " << i;
+      EXPECT_LT(Tensor::max_abs_diff(outputs[i], baseline[i]), 5e-4)
+          << rule.name << " changed output " << i;
+    }
+  }
+  EXPECT_GT(applied, 0u) << "rule never applied on the playground: " << rule.name
+                         << " — add its motif or fix the rule";
+}
+
+std::string rule_test_name(const ::testing::TestParamInfo<size_t>& info) {
+  std::string name = default_rules()[info.param].name;
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, RuleSoundness,
+                         ::testing::Range<size_t>(0, default_rules().size()),
+                         rule_test_name);
+
+}  // namespace
+}  // namespace tensat

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "lang/parse.h"
+#include "models/models.h"
+#include "serialize/serialize.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "tensor/interp.h"
+
+namespace tensat {
+namespace {
+
+TEST(Serialize, RoundTripSimpleGraph) {
+  Graph g;
+  const Id x = g.input("x", {4, 8});
+  const Id w = g.weight("w", {8, 4});
+  g.add_root(g.relu(g.matmul(x, w)));
+  const std::string text = save_graph_to_string(g);
+  const Graph back = load_graph_from_string(text);
+  EXPECT_EQ(back.canonical_key(), g.canonical_key());
+}
+
+TEST(Serialize, RoundTripPreservesSharing) {
+  Graph g;
+  const Id x = g.input("x", {4, 4});
+  const Id m = g.matmul(x, x);
+  g.add_root(g.ewadd(m, m));  // shared node
+  const Graph back = load_graph_from_string(save_graph_to_string(g));
+  EXPECT_EQ(back.reachable_size(), g.reachable_size());
+  EXPECT_EQ(back.canonical_key(), g.canonical_key());
+}
+
+TEST(Serialize, RoundTripEveryTinyModel) {
+  for (const ModelInfo& m : tiny_models()) {
+    const std::string text = save_graph_to_string(m.graph);
+    const Graph back = load_graph_from_string(text);
+    EXPECT_EQ(back.canonical_key(), m.graph.canonical_key()) << m.name;
+    // Shape analysis is recomputed on load and must agree at the roots.
+    for (size_t i = 0; i < m.graph.roots().size(); ++i)
+      EXPECT_EQ(back.info(back.roots()[i]).shape,
+                m.graph.info(m.graph.roots()[i]).shape)
+          << m.name;
+  }
+}
+
+TEST(Serialize, LoadedGraphComputesSameFunction) {
+  const Graph g = make_bert(1, 4, 8);
+  const Graph back = load_graph_from_string(save_graph_to_string(g));
+  const auto a = Interpreter(3).run_roots(g);
+  const auto b = Interpreter(3).run_roots(back);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    EXPECT_LT(Tensor::max_abs_diff(a[i], b[i]), 1e-7);
+}
+
+TEST(Serialize, PatternRoundTrip) {
+  Graph p(GraphKind::kPattern);
+  const Id root = parse_into(p, "(split0 (split 1 (matmul ?act ?a (concat2 1 ?b ?c))))");
+  p.set_roots({root});
+  const Graph back =
+      load_graph_from_string(save_graph_to_string(p), GraphKind::kPattern);
+  EXPECT_EQ(back.to_sexpr(back.roots()[0]), p.to_sexpr(root));
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW(load_graph_from_string("not a header\n"), Error);
+  EXPECT_THROW(load_graph_from_string("tensat-graph v1\nroots 0\n"), Error);
+  EXPECT_THROW(load_graph_from_string("tensat-graph v1\n0 frobnicate\nroots 0\n"),
+               Error);
+  EXPECT_THROW(load_graph_from_string("tensat-graph v1\n0 num 3\n1 relu 7\nroots 1\n"),
+               Error);  // dangling child id
+  EXPECT_THROW(load_graph_from_string("tensat-graph v1\n0 num 3\n"), Error);  // no roots
+  EXPECT_THROW(load_graph_from_string("tensat-graph v1\n0 num 3\n0 num 4\nroots 0\n"),
+               Error);  // duplicate id
+}
+
+TEST(Serialize, RejectsShapeInvalidGraphs) {
+  // ewadd of mismatched shapes: parses syntactically, fails shape inference.
+  const std::string bad =
+      "tensat-graph v1\n"
+      "0 str a@2_3\n"
+      "1 input 0\n"
+      "2 str b@3_2\n"
+      "3 input 2\n"
+      "4 ewadd 1 3\n"
+      "roots 4\n";
+  EXPECT_THROW(load_graph_from_string(bad), Error);
+}
+
+TEST(Serialize, StableAcrossSaveLoadSave) {
+  Rng rng(5);
+  const Graph g = make_nasrnn(1, 2, 8);
+  const std::string once = save_graph_to_string(g);
+  const std::string twice = save_graph_to_string(load_graph_from_string(once));
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace tensat

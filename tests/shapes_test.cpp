@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "lang/graph.h"
+#include "lang/parse.h"
+#include "lang/shapes.h"
+
+namespace tensat {
+namespace {
+
+// Most cases go through Graph::try_add, which exercises infer() exactly the
+// way the e-graph analysis does.
+
+TEST(Shapes, MatmulBasic) {
+  Graph g;
+  const Id a = g.input("a", {4, 8});
+  const Id b = g.weight("b", {8, 3});
+  const Id m = g.matmul(a, b);
+  EXPECT_EQ(g.info(m).shape, (std::vector<int32_t>{4, 3}));
+  EXPECT_FALSE(g.info(m).weight_only);
+}
+
+TEST(Shapes, MatmulInnerMismatchFails) {
+  Graph g;
+  const Id a = g.input("a", {4, 8});
+  const Id b = g.weight("b", {7, 3});
+  EXPECT_FALSE(g.try_add({Op::kMatmul, 0, {}, {g.num(0), a, b}}).has_value());
+}
+
+TEST(Shapes, MatmulBatched) {
+  Graph g;
+  const Id a = g.input("a", {2, 4, 8});
+  const Id b = g.input("b", {2, 8, 5});
+  EXPECT_EQ(g.info(g.matmul(a, b)).shape, (std::vector<int32_t>{2, 4, 5}));
+}
+
+TEST(Shapes, MatmulBroadcastRhs) {
+  Graph g;
+  const Id a = g.input("a", {2, 4, 8});
+  const Id w = g.weight("w", {8, 5});
+  EXPECT_EQ(g.info(g.matmul(a, w)).shape, (std::vector<int32_t>{2, 4, 5}));
+}
+
+TEST(Shapes, MatmulBatchMismatchFails) {
+  Graph g;
+  const Id a = g.input("a", {2, 4, 8});
+  const Id b = g.input("b", {3, 8, 5});
+  EXPECT_FALSE(g.try_add({Op::kMatmul, 0, {}, {g.num(0), a, b}}).has_value());
+}
+
+TEST(Shapes, MatmulWeightOnlyPropagates) {
+  Graph g;
+  const Id a = g.weight("a", {4, 8});
+  const Id b = g.weight("b", {8, 3});
+  EXPECT_TRUE(g.info(g.matmul(a, b)).weight_only);
+}
+
+TEST(Shapes, ConvSamePadding) {
+  Graph g;
+  const Id x = g.input("x", {1, 8, 14, 14});
+  const Id w = g.weight("w", {16, 8, 3, 3});
+  const Id c = g.conv(x, w, 1, 1, kPadSame);
+  EXPECT_EQ(g.info(c).shape, (std::vector<int32_t>{1, 16, 14, 14}));
+}
+
+TEST(Shapes, ConvValidPaddingAndStride) {
+  Graph g;
+  const Id x = g.input("x", {1, 8, 14, 14});
+  const Id w = g.weight("w", {16, 8, 3, 3});
+  const Id c = g.conv(x, w, 2, 2, kPadValid);
+  EXPECT_EQ(g.info(c).shape, (std::vector<int32_t>{1, 16, 6, 6}));
+}
+
+TEST(Shapes, GroupedConv) {
+  Graph g;
+  const Id x = g.input("x", {1, 8, 7, 7});
+  const Id w = g.weight("w", {16, 2, 3, 3});  // groups = 4
+  const Id c = g.conv(x, w, 1, 1, kPadSame);
+  EXPECT_EQ(g.info(c).shape, (std::vector<int32_t>{1, 16, 7, 7}));
+}
+
+TEST(Shapes, ConvBadGroupingFails) {
+  Graph g;
+  const Id x = g.input("x", {1, 8, 7, 7});
+  const Id w = g.weight("w", {16, 3, 3, 3});  // 8 % 3 != 0
+  EXPECT_FALSE(
+      g.try_add({Op::kConv, 0, {}, {g.num(1), g.num(1), g.num(0), g.num(0), x, w}})
+          .has_value());
+}
+
+TEST(Shapes, ConvCoutNotDivisibleByGroupsFails) {
+  Graph g;
+  const Id x = g.input("x", {1, 8, 7, 7});
+  const Id w = g.weight("w", {10, 2, 3, 3});  // groups=4, 10 % 4 != 0
+  EXPECT_FALSE(
+      g.try_add({Op::kConv, 0, {}, {g.num(1), g.num(1), g.num(0), g.num(0), x, w}})
+          .has_value());
+}
+
+TEST(Shapes, TransposePermutes) {
+  Graph g;
+  const Id x = g.input("x", {2, 3, 4});
+  const Id t = g.transpose(x, {2, 0, 1});
+  EXPECT_EQ(g.info(t).shape, (std::vector<int32_t>{4, 2, 3}));
+}
+
+TEST(Shapes, TransposeBadPermFails) {
+  Graph g;
+  const Id x = g.input("x", {2, 3});
+  EXPECT_FALSE(
+      g.try_add({Op::kTranspose, 0, {}, {x, g.str("0_0")}}).has_value());
+  EXPECT_FALSE(
+      g.try_add({Op::kTranspose, 0, {}, {x, g.str("0_1_2")}}).has_value());
+}
+
+TEST(Shapes, ConcatSums) {
+  Graph g;
+  const Id a = g.input("a", {1, 4, 7, 7});
+  const Id b = g.input("b", {1, 6, 7, 7});
+  const Id c = g.concat(1, {a, b});
+  EXPECT_EQ(g.info(c).shape, (std::vector<int32_t>{1, 10, 7, 7}));
+  ASSERT_EQ(g.info(c).hist.size(), 1u);
+  EXPECT_EQ(g.info(c).hist[0].axis, 1);
+  EXPECT_EQ(g.info(c).hist[0].pos, 4);
+}
+
+TEST(Shapes, ConcatMismatchFails) {
+  Graph g;
+  const Id a = g.input("a", {1, 4, 7, 7});
+  const Id b = g.input("b", {1, 6, 5, 7});
+  EXPECT_FALSE(g.try_add({Op::kConcat2, 0, {}, {g.num(1), a, b}}).has_value());
+}
+
+TEST(Shapes, TernaryConcatHasNoSplitBoundary) {
+  Graph g;
+  const Id a = g.input("a", {1, 4, 7, 7});
+  const Id c = g.concat(1, {a, a, a});
+  EXPECT_TRUE(g.info(c).hist.empty());
+}
+
+TEST(Shapes, SplitRoundTrip) {
+  Graph g;
+  const Id a = g.input("a", {2, 3});
+  const Id b = g.input("b", {2, 5});
+  const Id cat = g.concat(1, {a, b});
+  const Id sp = g.split(1, cat);
+  const ValueInfo& info = g.info(sp);
+  EXPECT_EQ(info.kind, VKind::kTuple);
+  EXPECT_EQ(info.shape, (std::vector<int32_t>{2, 3}));
+  EXPECT_EQ(info.shape2, (std::vector<int32_t>{2, 5}));
+  EXPECT_EQ(g.info(g.split0(sp)).shape, g.info(a).shape);
+  EXPECT_EQ(g.info(g.split1(sp)).shape, g.info(b).shape);
+}
+
+TEST(Shapes, SplitWithoutConcatFails) {
+  Graph g;
+  const Id a = g.input("a", {2, 6});
+  EXPECT_FALSE(g.try_add({Op::kSplit, 0, {}, {g.num(1), a}}).has_value());
+}
+
+TEST(Shapes, SplitWrongAxisFails) {
+  Graph g;
+  const Id a = g.input("a", {2, 3});
+  const Id cat = g.concat(1, {a, a});
+  EXPECT_FALSE(g.try_add({Op::kSplit, 0, {}, {g.num(0), cat}}).has_value());
+}
+
+TEST(Shapes, NestedConcatSplitUsesMostRecent) {
+  Graph g;
+  const Id a = g.input("a", {2, 3});
+  const Id b = g.input("b", {2, 5});
+  const Id inner = g.concat(1, {a, b});          // boundary at 3
+  const Id c = g.input("c", {2, 2});
+  const Id outer = g.concat(1, {inner, c});      // boundary at 8
+  const Id sp = g.split(1, outer);
+  EXPECT_EQ(g.info(sp).shape, (std::vector<int32_t>{2, 8}));
+  EXPECT_EQ(g.info(sp).shape2, (std::vector<int32_t>{2, 2}));
+  // The first half keeps the inner boundary and can be split again.
+  const Id sp2 = g.split(1, g.split0(sp));
+  EXPECT_EQ(g.info(sp2).shape, (std::vector<int32_t>{2, 3}));
+}
+
+TEST(Shapes, HistPropagatesThroughMatmulRhs) {
+  // Paper Fig. 2: split 1 after matmul of a column-concat must know the
+  // boundary.
+  Graph g;
+  const Id x = g.input("x", {4, 8});
+  const Id b = g.weight("b", {8, 3});
+  const Id c = g.weight("c", {8, 5});
+  const Id m = g.matmul(x, g.concat(1, {b, c}));
+  const Id sp = g.split(1, m);
+  EXPECT_EQ(g.info(sp).shape, (std::vector<int32_t>{4, 3}));
+  EXPECT_EQ(g.info(sp).shape2, (std::vector<int32_t>{4, 5}));
+}
+
+TEST(Shapes, HistPropagatesThroughMatmulLhsRows) {
+  Graph g;
+  const Id x = g.input("x", {4, 8});
+  const Id y = g.input("y", {6, 8});
+  const Id w = g.weight("w", {8, 3});
+  const Id m = g.matmul(g.concat(0, {x, y}), w);
+  const Id sp = g.split(0, m);
+  EXPECT_EQ(g.info(sp).shape, (std::vector<int32_t>{4, 3}));
+  EXPECT_EQ(g.info(sp).shape2, (std::vector<int32_t>{6, 3}));
+}
+
+TEST(Shapes, HistPropagatesThroughConvWeights) {
+  // Paper Fig. 9: split 1 after a conv whose weights were concatenated on
+  // the output-channel axis.
+  Graph g;
+  const Id x = g.input("x", {1, 8, 7, 7});
+  const Id w1 = g.weight("w1", {4, 8, 3, 3});
+  const Id w2 = g.weight("w2", {12, 8, 3, 3});
+  const Id c = g.conv(x, g.concat(0, {w1, w2}), 1, 1, kPadSame);
+  const Id sp = g.split(1, c);
+  EXPECT_EQ(g.info(sp).shape, (std::vector<int32_t>{1, 4, 7, 7}));
+  EXPECT_EQ(g.info(sp).shape2, (std::vector<int32_t>{1, 12, 7, 7}));
+}
+
+TEST(Shapes, HistSurvivesActivations) {
+  Graph g;
+  const Id a = g.input("a", {2, 3});
+  const Id cat = g.concat(1, {a, a});
+  const Id r = g.relu(cat);
+  EXPECT_EQ(g.info(r).hist.size(), 1u);
+}
+
+TEST(Shapes, EnlargePads) {
+  Graph g;
+  const Id w = g.weight("w", {4, 8, 3, 3});
+  const Id ref = g.weight("ref", {2, 2, 5, 5});
+  const Id e = g.enlarge(w, ref);
+  EXPECT_EQ(g.info(e).shape, (std::vector<int32_t>{4, 8, 5, 5}));
+}
+
+TEST(Shapes, EnlargeOddParityFails) {
+  Graph g;
+  const Id w = g.weight("w", {4, 8, 3, 3});
+  const Id ref = g.weight("ref", {2, 2, 4, 4});
+  EXPECT_FALSE(g.try_add({Op::kEnlarge, 0, {}, {w, ref}}).has_value());
+}
+
+TEST(Shapes, EnlargeShrinkFails) {
+  Graph g;
+  const Id w = g.weight("w", {4, 8, 5, 5});
+  const Id ref = g.weight("ref", {2, 2, 3, 3});
+  EXPECT_FALSE(g.try_add({Op::kEnlarge, 0, {}, {w, ref}}).has_value());
+}
+
+TEST(Shapes, ReshapeChecksVolume) {
+  Graph g;
+  const Id x = g.input("x", {2, 6});
+  EXPECT_EQ(g.info(g.reshape(x, {3, 4})).shape, (std::vector<int32_t>{3, 4}));
+  EXPECT_FALSE(g.try_add({Op::kReshape, 0, {}, {x, g.str("5_2")}}).has_value());
+}
+
+TEST(Shapes, MergeExpandsWeight) {
+  Graph g;
+  const Id w = g.weight("w", {8, 2, 3, 3});
+  const Id m = g.merge(w, 2);
+  EXPECT_EQ(g.info(m).shape, (std::vector<int32_t>{8, 4, 3, 3}));
+  EXPECT_TRUE(g.info(m).weight_only);
+}
+
+TEST(Shapes, PoolShapes) {
+  Graph g;
+  const Id x = g.input("x", {1, 4, 8, 8});
+  EXPECT_EQ(g.info(g.poolmax(x, 2, 2, 2, 2, kPadValid)).shape,
+            (std::vector<int32_t>{1, 4, 4, 4}));
+  EXPECT_EQ(g.info(g.poolavg(x, 3, 3, 1, 1, kPadSame)).shape,
+            (std::vector<int32_t>{1, 4, 8, 8}));
+}
+
+TEST(Shapes, InvalidActivationModeFails) {
+  Graph g;
+  const Id a = g.input("a", {2, 2});
+  EXPECT_FALSE(g.try_add({Op::kMatmul, 0, {}, {g.num(9), a, a}}).has_value());
+}
+
+TEST(Shapes, WeightOnlyConcatIsPrecomputable) {
+  Graph g;
+  const Id w1 = g.weight("w1", {4, 4});
+  const Id w2 = g.weight("w2", {4, 4});
+  EXPECT_TRUE(g.info(g.concat(1, {w1, w2})).weight_only);
+  const Id x = g.input("x", {4, 4});
+  EXPECT_FALSE(g.info(g.concat(1, {w1, x})).weight_only);
+}
+
+}  // namespace
+}  // namespace tensat

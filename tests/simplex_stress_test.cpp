@@ -1,0 +1,171 @@
+// Stress and edge-case coverage for the bounded-variable simplex beyond
+// lp_test.cpp: vertex-enumeration cross-check on random 2-D LPs, bound
+// handling (negative lower bounds, fixed variables, at-upper starts),
+// and larger structured instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ilp/lp.h"
+#include "support/rng.h"
+
+namespace tensat {
+namespace {
+
+/// Exact 2-variable LP solver by vertex enumeration: intersects every pair
+/// of tight constraints (rows + bounds) and takes the best feasible vertex.
+double brute_force_2d(const LinearProgram& lp) {
+  struct Line {
+    double a, b, c;  // a x + b y = c
+  };
+  std::vector<Line> lines;
+  for (const auto& row : lp.rows) {
+    double a = 0, b = 0;
+    for (auto [j, coef] : row.terms) (j == 0 ? a : b) += coef;
+    if (row.lo != -kInf) lines.push_back({a, b, row.lo});
+    if (row.hi != kInf) lines.push_back({a, b, row.hi});
+  }
+  for (int j = 0; j < 2; ++j) {
+    if (lp.lower[j] != -kInf) lines.push_back({j == 0 ? 1.0 : 0.0, j == 0 ? 0.0 : 1.0,
+                                               lp.lower[j]});
+    if (lp.upper[j] != kInf) lines.push_back({j == 0 ? 1.0 : 0.0, j == 0 ? 0.0 : 1.0,
+                                              lp.upper[j]});
+  }
+  double best = kInf;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (size_t j = i + 1; j < lines.size(); ++j) {
+      const double det = lines[i].a * lines[j].b - lines[j].a * lines[i].b;
+      if (std::abs(det) < 1e-9) continue;
+      const double x = (lines[i].c * lines[j].b - lines[j].c * lines[i].b) / det;
+      const double y = (lines[i].a * lines[j].c - lines[j].a * lines[i].c) / det;
+      if (lp.feasible({x, y}, 1e-7)) best = std::min(best, lp.objective_value({x, y}));
+    }
+  }
+  return best;
+}
+
+class SimplexVsVertexEnum : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexVsVertexEnum, TwoVarRandomLps) {
+  Rng rng(4242 + GetParam());
+  LinearProgram lp;
+  lp.add_var(rng.uniform(-2.0, 0.0), rng.uniform(0.5, 3.0), rng.uniform(-2.0, 2.0));
+  lp.add_var(rng.uniform(-2.0, 0.0), rng.uniform(0.5, 3.0), rng.uniform(-2.0, 2.0));
+  const int rows = 1 + static_cast<int>(rng.below(4));
+  for (int r = 0; r < rows; ++r) {
+    LinearProgram::Row row;
+    row.terms.emplace_back(0, rng.uniform(-1.5, 1.5));
+    row.terms.emplace_back(1, rng.uniform(-1.5, 1.5));
+    if (rng.chance(0.3)) {
+      row.lo = row.hi = rng.uniform(-1.0, 1.0);  // equality
+    } else {
+      row.lo = rng.chance(0.5) ? rng.uniform(-3.0, 0.0) : -kInf;
+      row.hi = rng.chance(0.5) ? rng.uniform(0.0, 3.0) : kInf;
+      if (row.lo > row.hi) std::swap(row.lo, row.hi);
+    }
+    lp.rows.push_back(row);
+  }
+  const double expected = brute_force_2d(lp);
+  const LpResult got = solve_lp(lp);
+  if (expected == kInf) {
+    EXPECT_EQ(got.status, LpStatus::kInfeasible) << "seed " << GetParam();
+  } else {
+    ASSERT_EQ(got.status, LpStatus::kOptimal) << "seed " << GetParam();
+    EXPECT_NEAR(got.objective, expected, 1e-5) << "seed " << GetParam();
+    EXPECT_TRUE(lp.feasible(got.x, 1e-5)) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexVsVertexEnum, ::testing::Range(0, 60));
+
+TEST(SimplexEdge, NegativeLowerBounds) {
+  // min x + y with x in [-5,-1], y in [-2,3], x + y >= -4 -> (-2,-2).
+  LinearProgram lp;
+  lp.add_var(-5, -1, 1.0);
+  lp.add_var(-2, 3, 1.0);
+  lp.add_row({{0, 1.0}, {1, 1.0}}, -4.0, kInf);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -4.0, 1e-6);
+}
+
+TEST(SimplexEdge, FixedVariables) {
+  // Variables pinned by equal bounds participate correctly.
+  LinearProgram lp;
+  lp.add_var(2, 2, 1.0);   // fixed at 2
+  lp.add_var(0, 10, 1.0);
+  lp.add_row({{0, 1.0}, {1, 1.0}}, 5.0, kInf);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 3.0, 1e-6);
+}
+
+TEST(SimplexEdge, VacuousRowsIgnored) {
+  LinearProgram lp;
+  lp.add_var(0, 1, -1.0);
+  lp.add_row({{0, 1.0}}, -kInf, kInf);  // vacuous
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+}
+
+TEST(SimplexEdge, ZeroObjectiveFindsFeasible) {
+  LinearProgram lp;
+  lp.add_var(0, 10, 0.0);
+  lp.add_var(0, 10, 0.0);
+  lp.add_row({{0, 1.0}, {1, 2.0}}, 7.0, 7.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_TRUE(lp.feasible(r.x, 1e-6));
+}
+
+TEST(SimplexStress, LargerAssignmentLikeInstance) {
+  // A 60-var transportation-style LP with known optimum: assign each of 20
+  // "jobs" to the cheapest of 3 "machines" (relaxation is integral).
+  Rng rng(99);
+  LinearProgram lp;
+  double expected = 0.0;
+  for (int job = 0; job < 20; ++job) {
+    double best = kInf;
+    std::vector<std::pair<int, double>> row;
+    for (int mach = 0; mach < 3; ++mach) {
+      const double c = rng.uniform(1.0, 9.0);
+      best = std::min(best, c);
+      row.emplace_back(lp.add_var(0, 1, c), 1.0);
+    }
+    lp.add_row(std::move(row), 1.0, 1.0);
+    expected += best;
+  }
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, expected, 1e-5);
+}
+
+TEST(SimplexStress, ChainedCoverInstance) {
+  // Extraction-shaped chain: root -> c1 -> c2 -> ... -> c30, two options per
+  // class; optimum picks the per-class cheaper option all the way down.
+  Rng rng(123);
+  LinearProgram lp;
+  double expected = 0.0;
+  int prev_a = -1, prev_b = -1;
+  for (int depth = 0; depth < 30; ++depth) {
+    const double ca = rng.uniform(1.0, 5.0), cb = rng.uniform(1.0, 5.0);
+    const int a = lp.add_var(0, 1, ca);
+    const int b = lp.add_var(0, 1, cb);
+    if (depth == 0) {
+      lp.add_row({{a, 1.0}, {b, 1.0}}, 1.0, 1.0);
+    } else {
+      lp.add_row({{prev_a, 1.0}, {prev_b, 1.0}, {a, -1.0}, {b, -1.0}}, -kInf, 0.0);
+    }
+    expected += std::min(ca, cb);
+    prev_a = a;
+    prev_b = b;
+  }
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, expected, 1e-5);
+}
+
+}  // namespace
+}  // namespace tensat

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/check.h"
+#include "support/hash.h"
+#include "support/rng.h"
+#include "support/symbol.h"
+#include "support/timer.h"
+
+namespace tensat {
+namespace {
+
+TEST(Symbol, InternsIdentically) {
+  Symbol a("hello");
+  Symbol b("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.str(), "hello");
+}
+
+TEST(Symbol, DistinctStringsDistinctIds) {
+  Symbol a("alpha");
+  Symbol b("beta");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(Symbol, EmptyDefault) {
+  Symbol s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s, Symbol(""));
+}
+
+TEST(Symbol, HashMatchesEquality) {
+  std::hash<Symbol> h;
+  EXPECT_EQ(h(Symbol("x")), h(Symbol("x")));
+}
+
+TEST(Symbol, ConcurrentInterningIsSafe) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<uint32_t> ids(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &ids] { ids[t] = Symbol("shared-name").id(); });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(ids[0], ids[t]);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    TENSAT_CHECK(1 == 2, "math is broken: " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken: 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { TENSAT_CHECK(true, "never"); }
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all values hit
+}
+
+TEST(Rng, NormalRoughlyCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.normal();
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(Hash, CombineChangesSeed) {
+  size_t a = 0, b = 0;
+  hash_combine(a, 1);
+  hash_combine(b, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hash, OrderSensitive) {
+  size_t a = 0, b = 0;
+  hash_combine(a, 1);
+  hash_combine(a, 2);
+  hash_combine(b, 2);
+  hash_combine(b, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace tensat

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "models/models.h"
+#include "rewrite/rules.h"
+#include "taso/search.h"
+
+namespace tensat {
+namespace {
+
+const T4CostModel& model() {
+  static const T4CostModel m;
+  return m;
+}
+
+Graph shared_matmuls() {
+  Graph g;
+  const Id x = g.input("x", {64, 256});
+  for (int i = 0; i < 3; ++i)
+    g.add_root(g.matmul(x, g.weight("w" + std::to_string(i), {256, 256})));
+  return g;
+}
+
+TEST(TasoSearch, NeverWorseThanInput) {
+  TasoOptions opt;
+  opt.iterations = 5;
+  const TasoResult r = taso_search(shared_matmuls(), default_rules(), model(), opt);
+  EXPECT_LE(r.best_cost, r.original_cost + 1e-9);
+}
+
+TEST(TasoSearch, FindsMatmulMerge) {
+  TasoOptions opt;
+  opt.iterations = 30;
+  const TasoResult r = taso_search(shared_matmuls(), default_rules(), model(), opt);
+  EXPECT_LT(r.best_cost, r.original_cost - 1e-6);
+  EXPECT_GT(r.best.op_histogram().count(Op::kSplit), 0u);
+}
+
+TEST(TasoSearch, TimelineMonotone) {
+  TasoOptions opt;
+  opt.iterations = 30;
+  const TasoResult r = taso_search(shared_matmuls(), default_rules(), model(), opt);
+  ASSERT_GE(r.stats.timeline.size(), 1u);
+  for (size_t i = 1; i < r.stats.timeline.size(); ++i) {
+    EXPECT_GE(r.stats.timeline[i].first, r.stats.timeline[i - 1].first);
+    EXPECT_LT(r.stats.timeline[i].second, r.stats.timeline[i - 1].second);
+  }
+  EXPECT_LE(r.stats.best_seconds, r.stats.total_seconds + 1e-9);
+}
+
+TEST(TasoSearch, MoreIterationsNeverHurt) {
+  TasoOptions few;
+  few.iterations = 2;
+  TasoOptions many;
+  many.iterations = 40;
+  const Graph g = shared_matmuls();
+  const TasoResult a = taso_search(g, default_rules(), model(), few);
+  const TasoResult b = taso_search(g, default_rules(), model(), many);
+  EXPECT_LE(b.best_cost, a.best_cost + 1e-9);
+}
+
+TEST(TasoSearch, AlphaOneIsGreedyDescent) {
+  // alpha = 1.0 only enqueues strict improvements; still sound.
+  TasoOptions opt;
+  opt.iterations = 20;
+  opt.alpha = 1.0;
+  const TasoResult r = taso_search(shared_matmuls(), default_rules(), model(), opt);
+  EXPECT_LE(r.best_cost, r.original_cost);
+}
+
+TEST(TasoSearch, RespectsTimeLimit) {
+  TasoOptions opt;
+  opt.iterations = 1000000;
+  opt.time_limit_s = 0.3;
+  const TasoResult r =
+      taso_search(paper_models()[1].graph /* BERT */, default_rules(), model(), opt);
+  EXPECT_LT(r.stats.total_seconds, 2.0);
+}
+
+TEST(TasoSearch, OptimizesTinyBert) {
+  TasoOptions opt;
+  opt.iterations = 15;
+  opt.time_limit_s = 10.0;
+  const Graph g = make_bert(1, 16, 32);
+  const TasoResult r = taso_search(g, default_rules(), model(), opt);
+  EXPECT_LT(r.best_cost, r.original_cost);  // QKV merge must be found
+}
+
+}  // namespace
+}  // namespace tensat

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.h"
+#include "tensor/tensor.h"
+
+namespace tensat {
+namespace {
+
+TEST(Tensor, ConstructAndIndex) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.volume(), 6);
+  t.at2(1, 2) = 5.0f;
+  EXPECT_EQ(t.at2(1, 2), 5.0f);
+  EXPECT_EQ(t.at2(0, 0), 0.0f);
+}
+
+TEST(Tensor, OutOfRangeThrows) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at2(2, 0), Error);
+}
+
+TEST(Tensor, EwaddAndEwmul) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {3.0f, 4.0f});
+  EXPECT_EQ(ewadd(a, b).data()[0], 4.0f);
+  EXPECT_EQ(ewadd(a, b).data()[1], 6.0f);
+  EXPECT_EQ(ewmul(a, b).data()[0], 3.0f);
+  EXPECT_EQ(ewmul(a, b).data()[1], 8.0f);
+}
+
+TEST(Tensor, Matmul2D) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  const Tensor c = matmul(a, b, kActNone);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at2(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 50.0f);
+}
+
+TEST(Tensor, MatmulActivationApplied) {
+  Tensor a({1, 1}, {-2.0f});
+  Tensor b({1, 1}, {3.0f});
+  EXPECT_FLOAT_EQ(matmul(a, b, kActRelu).data()[0], 0.0f);
+  EXPECT_NEAR(matmul(a, b, kActTanh).data()[0], std::tanh(-6.0f), 1e-6);
+  EXPECT_NEAR(matmul(a, b, kActSigmoid).data()[0], 1.0f / (1.0f + std::exp(6.0f)),
+              1e-6);
+}
+
+TEST(Tensor, MatmulBatchedMatchesPerSlice) {
+  const Tensor a = random_tensor({3, 4, 5}, 1);
+  const Tensor b = random_tensor({3, 5, 2}, 2);
+  const Tensor c = matmul(a, b, kActNone);
+  // Check one element of batch 2 by hand.
+  double acc = 0;
+  for (int k = 0; k < 5; ++k)
+    acc += static_cast<double>(a.data()[2 * 20 + 1 * 5 + k]) * b.data()[2 * 10 + k * 2 + 1];
+  EXPECT_NEAR(c.data()[2 * 8 + 1 * 2 + 1], acc, 1e-5);
+}
+
+TEST(Tensor, MatmulBroadcastRhsMatchesLoop) {
+  const Tensor a = random_tensor({2, 3, 4}, 3);
+  const Tensor w = random_tensor({4, 5}, 4);
+  const Tensor c = matmul(a, w, kActNone);
+  EXPECT_EQ(c.dims(), (std::vector<int32_t>{2, 3, 5}));
+  double acc = 0;
+  for (int k = 0; k < 4; ++k)
+    acc += static_cast<double>(a.data()[1 * 12 + 2 * 4 + k]) * w.at2(k, 3);
+  EXPECT_NEAR(c.data()[1 * 15 + 2 * 5 + 3], acc, 1e-5);
+}
+
+TEST(Tensor, Conv2dIdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input.
+  const Tensor x = random_tensor({1, 1, 4, 4}, 5);
+  Tensor w({1, 1, 1, 1}, {1.0f});
+  const Tensor y = conv2d(x, w, 1, 1, kPadSame, kActNone);
+  EXPECT_LT(Tensor::max_abs_diff(x, y), 1e-6);
+}
+
+TEST(Tensor, Conv2dValidSum) {
+  // 2x2 all-ones kernel on VALID padding = sliding window sums.
+  Tensor x({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w({1, 1, 2, 2}, {1, 1, 1, 1});
+  const Tensor y = conv2d(x, w, 1, 1, kPadValid, kActNone);
+  EXPECT_EQ(y.dims(), (std::vector<int32_t>{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1 + 2 + 4 + 5);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 5 + 6 + 8 + 9);
+}
+
+TEST(Tensor, Conv2dSamePadZeros) {
+  // 3x3 ones kernel, SAME: corner output sums the 2x2 in-bounds block.
+  Tensor x({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w({1, 1, 3, 3}, std::vector<float>(9, 1.0f));
+  const Tensor y = conv2d(x, w, 1, 1, kPadSame, kActNone);
+  EXPECT_EQ(y.dims(), x.dims());
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1 + 2 + 4 + 5);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 45.0f);
+}
+
+TEST(Tensor, GroupedConvSeparatesChannels) {
+  // Depthwise conv (groups == channels) with per-channel scaling kernels.
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor w({2, 1, 1, 1}, {2.0f, 3.0f});
+  const Tensor y = conv2d(x, w, 1, 1, kPadSame, kActNone);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 1, 0, 0), 30.0f);
+}
+
+TEST(Tensor, GroupedConvEqualsBlockDiagonalFull) {
+  // A grouped conv equals a full conv with a block-diagonal weight.
+  const int C = 4, G = 2;
+  const Tensor x = random_tensor({1, C, 5, 5}, 6);
+  const Tensor wg = random_tensor({4, C / G, 3, 3}, 7);
+  Tensor wf({4, C, 3, 3});
+  const int cout_per_group = 4 / G;
+  for (int oc = 0; oc < 4; ++oc) {
+    const int g = oc / cout_per_group;
+    for (int ic = 0; ic < C / G; ++ic)
+      for (int a = 0; a < 3; ++a)
+        for (int b = 0; b < 3; ++b)
+          wf.at4(oc, g * (C / G) + ic, a, b) = wg.at4(oc, ic, a, b);
+  }
+  const Tensor yg = conv2d(x, wg, 1, 1, kPadSame, kActNone);
+  const Tensor yf = conv2d(x, wf, 1, 1, kPadSame, kActNone);
+  EXPECT_LT(Tensor::max_abs_diff(yg, yf), 1e-5);
+}
+
+TEST(Tensor, PoolmaxBasic) {
+  Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  const Tensor y = poolmax(x, 2, 2, 2, 2, kPadValid, kActNone);
+  EXPECT_EQ(y.volume(), 1);
+  EXPECT_FLOAT_EQ(y.data()[0], 5.0f);
+}
+
+TEST(Tensor, PoolavgExcludesPadding) {
+  Tensor x({1, 1, 2, 2}, {2, 2, 2, 2});
+  const Tensor y = poolavg(x, 3, 3, 1, 1, kPadSame, kActNone);
+  // Every window only averages in-bounds elements (all equal 2).
+  for (int64_t i = 0; i < y.volume(); ++i) EXPECT_FLOAT_EQ(y.data()[i], 2.0f);
+}
+
+TEST(Tensor, TransposeInverts) {
+  const Tensor x = random_tensor({3, 4}, 8);
+  const int32_t perm[] = {1, 0};
+  const Tensor t = transpose(transpose(x, perm), perm);
+  EXPECT_LT(Tensor::max_abs_diff(x, t), 1e-7);
+}
+
+TEST(Tensor, Transpose3D) {
+  const Tensor x = random_tensor({2, 3, 4}, 9);
+  const int32_t perm[] = {2, 0, 1};
+  const Tensor t = transpose(x, perm);
+  EXPECT_EQ(t.dims(), (std::vector<int32_t>{4, 2, 3}));
+  const int32_t i_t[] = {3, 1, 2};
+  const int32_t i_x[] = {1, 2, 3};
+  EXPECT_FLOAT_EQ(t.at(i_t), x.at(i_x));
+}
+
+TEST(Tensor, ConcatSplitRoundTrip) {
+  const Tensor a = random_tensor({2, 3, 4}, 10);
+  const Tensor b = random_tensor({2, 5, 4}, 11);
+  const Tensor* inputs[] = {&a, &b};
+  const Tensor cat = concat(1, inputs);
+  EXPECT_EQ(cat.dims(), (std::vector<int32_t>{2, 8, 4}));
+  auto [x, y] = split_at(cat, 1, 3);
+  EXPECT_LT(Tensor::max_abs_diff(a, x), 1e-7);
+  EXPECT_LT(Tensor::max_abs_diff(b, y), 1e-7);
+}
+
+TEST(Tensor, EnlargeCentersKernel) {
+  Tensor w({1, 1, 1, 1}, {7.0f});
+  const Tensor e = enlarge(w, 3, 3);
+  EXPECT_EQ(e.dims(), (std::vector<int32_t>{1, 1, 3, 3}));
+  EXPECT_FLOAT_EQ(e.at4(0, 0, 1, 1), 7.0f);
+  EXPECT_FLOAT_EQ(e.at4(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Tensor, EnlargedKernelSameConvEquivalence) {
+  // The soundness fact behind the conv-enlarge rules: SAME-padding conv with
+  // a zero-enlarged kernel equals the original conv.
+  const Tensor x = random_tensor({1, 3, 8, 8}, 12);
+  const Tensor w = random_tensor({2, 3, 1, 1}, 13);
+  const Tensor y1 = conv2d(x, w, 1, 1, kPadSame, kActNone);
+  const Tensor y2 = conv2d(x, enlarge(w, 3, 3), 1, 1, kPadSame, kActNone);
+  EXPECT_LT(Tensor::max_abs_diff(y1, y2), 1e-5);
+}
+
+TEST(Tensor, EnlargedKernelStridedEquivalence) {
+  const Tensor x = random_tensor({1, 2, 9, 9}, 14);
+  const Tensor w = random_tensor({2, 2, 3, 3}, 15);
+  const Tensor y1 = conv2d(x, w, 2, 2, kPadSame, kActNone);
+  const Tensor y2 = conv2d(x, enlarge(w, 5, 5), 2, 2, kPadSame, kActNone);
+  EXPECT_LT(Tensor::max_abs_diff(y1, y2), 1e-5);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  const Tensor x = random_tensor({2, 6}, 16);
+  const Tensor y = reshape(x, {3, 4});
+  for (int64_t i = 0; i < x.volume(); ++i) EXPECT_EQ(x.data()[i], y.data()[i]);
+}
+
+TEST(Tensor, RandomTensorDeterministic) {
+  const Tensor a = random_tensor({4, 4}, 42);
+  const Tensor b = random_tensor({4, 4}, 42);
+  EXPECT_LT(Tensor::max_abs_diff(a, b), 0.0f + 1e-12);
+  const Tensor c = random_tensor({4, 4}, 43);
+  EXPECT_GT(Tensor::max_abs_diff(a, c), 1e-3);
+}
+
+}  // namespace
+}  // namespace tensat
