@@ -1,0 +1,132 @@
+// E-matching throughput report: runs the bench/micro_egraph.cpp matcher
+// workload (every canonical pattern of the default rule set against model
+// seed e-graphs) through both the naive recursive matcher and the compiled
+// e-matching VM, and writes matches/sec plus the speedup to a JSON file so
+// later PRs have a perf trajectory to compare against.
+//
+// Usage: bench_ematch_report [output.json]   (default: BENCH_ematch.json)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "models/models.h"
+#include "optimizer/optimizer.h"
+#include "rewrite/matcher.h"
+#include "rewrite/multi.h"
+#include "rewrite/rules.h"
+#include "support/timer.h"
+
+using namespace tensat;
+
+namespace {
+
+struct Throughput {
+  double seconds{0.0};
+  size_t matches{0};
+  [[nodiscard]] double matches_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(matches) / seconds : 0.0;
+  }
+};
+
+/// Repeats the full-rule-set search until `min_seconds` of work accumulates
+/// (at least once), then reports the per-sweep average.
+template <typename SearchAll>
+Throughput measure(const SearchAll& search_all, double min_seconds = 0.3) {
+  size_t reps = 0;
+  size_t matches = 0;
+  Timer timer;
+  do {
+    matches = search_all();  // identical every sweep; keep the last count
+    ++reps;
+  } while (timer.seconds() < min_seconds);
+  Throughput t;
+  t.seconds = timer.seconds() / static_cast<double>(reps);
+  t.matches = matches;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_ematch.json";
+  const MultiPlan plan = build_multi_plan(default_rules());
+
+  struct ModelRow {
+    std::string name;
+    size_t eclasses;
+    size_t enodes;
+    Throughput naive;
+    Throughput vm;
+  };
+  std::vector<ModelRow> rows;
+
+  std::vector<ModelInfo> models;
+  models.push_back({"BERT(2,32,128)", make_bert(2, 32, 128)});  // micro_egraph workload
+  models.push_back({"NasRNN(1,8,64)", make_nasrnn(1, 8, 64)});
+  models.push_back({"Inception-v3(2,32,16)", make_inception_v3(2, 32, 16)});
+
+  std::printf("%-24s %10s %12s | %12s %12s | %8s\n", "model", "eclasses",
+              "naive m/s", "vm m/s", "matches", "speedup");
+  for (const ModelInfo& m : models) {
+    EGraph eg = seed_egraph(m.graph);
+    ModelRow row;
+    row.name = m.name;
+    row.eclasses = eg.num_classes();
+    row.enodes = eg.num_enodes();
+    row.naive = measure([&] {
+      size_t total = 0;
+      for (const CanonicalPattern& cp : plan.patterns)
+        total += search_pattern_naive(eg, cp.pat, cp.root).size();
+      return total;
+    });
+    row.vm = measure([&] {
+      size_t total = 0;
+      for (const CanonicalPattern& cp : plan.patterns)
+        total += ematch::search(eg, cp.program).size();
+      return total;
+    });
+    std::printf("%-24s %10zu %12.0f | %12.0f %12zu | %7.2fx\n", row.name.c_str(),
+                row.eclasses, row.naive.matches_per_sec(), row.vm.matches_per_sec(),
+                row.vm.matches, row.naive.seconds / row.vm.seconds);
+    rows.push_back(std::move(row));
+  }
+
+  double naive_seconds = 0.0, vm_seconds = 0.0;
+  for (const ModelRow& r : rows) {
+    naive_seconds += r.naive.seconds;
+    vm_seconds += r.vm.seconds;
+  }
+  const double speedup = vm_seconds > 0.0 ? naive_seconds / vm_seconds : 0.0;
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"workload\": \"all canonical patterns of default_rules() vs "
+                  "model seed e-graphs (bench/ematch_report.cpp; same search as "
+                  "bench/micro_egraph.cpp BM_EMatchAllRules*)\",\n");
+  std::fprintf(f, "  \"models\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ModelRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"eclasses\": %zu, \"enodes\": %zu,\n"
+                 "     \"naive\": {\"seconds_per_sweep\": %.6f, \"matches\": %zu, "
+                 "\"matches_per_sec\": %.0f},\n"
+                 "     \"vm\": {\"seconds_per_sweep\": %.6f, \"matches\": %zu, "
+                 "\"matches_per_sec\": %.0f},\n"
+                 "     \"speedup\": %.2f}%s\n",
+                 r.name.c_str(), r.eclasses, r.enodes, r.naive.seconds,
+                 r.naive.matches, r.naive.matches_per_sec(), r.vm.seconds, r.vm.matches,
+                 r.vm.matches_per_sec(), r.naive.seconds / r.vm.seconds,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"overall_speedup_vm_over_naive\": %.2f\n", speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\noverall speedup (vm over naive): %.2fx -> %s\n", speedup,
+              out_path.c_str());
+  return speedup >= 2.0 ? 0 : 2;  // acceptance gate: VM must be >= 2x naive
+}

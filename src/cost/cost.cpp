@@ -20,7 +20,7 @@ double tensor_bytes(const ValueInfo& v) {
 
 }  // namespace
 
-double T4CostModel::op_cost(const TNode& node, std::span<const ValueInfo> inputs,
+double T4CostModel::op_cost(const TNode& node, span<const ValueInfo> inputs,
                             const ValueInfo& out) const {
   double flops = 0.0;
   double bytes = 0.0;
@@ -102,7 +102,7 @@ double T4CostModel::op_cost(const TNode& node, std::span<const ValueInfo> inputs
 }
 
 double MeasuredRuntimeModel::op_cost(const TNode& node,
-                                     std::span<const ValueInfo> inputs,
+                                     span<const ValueInfo> inputs,
                                      const ValueInfo& out) const {
   double cost = base_->op_cost(node, inputs, out);
   if (cost == 0.0) return 0.0;
@@ -134,7 +134,7 @@ double MeasuredRuntimeModel::op_cost(const TNode& node,
 }
 
 double node_cost(const CostModel& model, const TNode& node,
-                 std::span<const ValueInfo> inputs, const ValueInfo& out) {
+                 span<const ValueInfo> inputs, const ValueInfo& out) {
   if (out.weight_only) return 0.0;  // precomputed at inference time
   return model.op_cost(node, inputs, out);
 }

@@ -13,7 +13,7 @@
 #pragma once
 
 #include <memory>
-#include <span>
+#include "support/span.h"
 
 #include "egraph/egraph.h"
 #include "lang/graph.h"
@@ -28,7 +28,7 @@ class CostModel {
   /// its input and output value infos. Pure operator cost: the weight-only
   /// zeroing convention is applied by node_cost(), not here.
   [[nodiscard]] virtual double op_cost(const TNode& node,
-                                       std::span<const ValueInfo> inputs,
+                                       span<const ValueInfo> inputs,
                                        const ValueInfo& out) const = 0;
 };
 
@@ -47,7 +47,7 @@ class T4CostModel : public CostModel {
   T4CostModel() = default;
   explicit T4CostModel(const Params& params) : p_(params) {}
 
-  [[nodiscard]] double op_cost(const TNode& node, std::span<const ValueInfo> inputs,
+  [[nodiscard]] double op_cost(const TNode& node, span<const ValueInfo> inputs,
                                const ValueInfo& out) const override;
 
  private:
@@ -67,7 +67,7 @@ class MeasuredRuntimeModel : public CostModel {
         jitter_(jitter),
         seed_(seed) {}
 
-  [[nodiscard]] double op_cost(const TNode& node, std::span<const ValueInfo> inputs,
+  [[nodiscard]] double op_cost(const TNode& node, span<const ValueInfo> inputs,
                                const ValueInfo& out) const override;
 
  private:
@@ -81,7 +81,7 @@ class MeasuredRuntimeModel : public CostModel {
 /// noop, and any weight-only (precomputable) output; otherwise the model's
 /// operator cost.
 double node_cost(const CostModel& model, const TNode& node,
-                 std::span<const ValueInfo> inputs, const ValueInfo& out);
+                 span<const ValueInfo> inputs, const ValueInfo& out);
 
 /// Sum of node_cost over all nodes reachable from `g`'s roots (the paper's
 /// graph cost; hash-consing means shared subgraphs are counted once).

@@ -29,6 +29,7 @@ std::optional<Id> EGraph::try_add(TNode node) {
   EClass& cls = classes_[id];
   cls.data = std::move(*data);
   cls.nodes.push_back(EClassNode{node, next_stamp_++, false});
+  op_index_[static_cast<size_t>(node.op)].push_back(id);
   for (Id c : node.children) classes_[find(c)].parents.emplace_back(node, id);
   hashcons_.emplace(std::move(node), id);
   ++version_;
@@ -102,6 +103,13 @@ void EGraph::rebuild() {
     todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
     for (Id id : todo) repair(find(id));
   }
+  // Compact the op-index: merges leave stale (now non-canonical) ids behind;
+  // re-canonicalizing here keeps later classes_with_op() calls cheap.
+  for (std::vector<Id>& bucket : op_index_) {
+    for (Id& id : bucket) id = find(id);
+    std::sort(bucket.begin(), bucket.end());
+    bucket.erase(std::unique(bucket.begin(), bucket.end()), bucket.end());
+  }
 }
 
 void EGraph::repair(Id id) {
@@ -160,6 +168,18 @@ std::vector<Id> EGraph::canonical_classes() const {
   std::vector<Id> out;
   for (Id id = 0; id < static_cast<Id>(classes_.size()); ++id)
     if (find(id) == id) out.push_back(id);
+  return out;
+}
+
+std::vector<Id> EGraph::classes_with_op(Op op) const {
+  std::vector<Id> out = op_index_[static_cast<size_t>(op)];
+  // On a clean e-graph the bucket is already canonical, sorted, and unique:
+  // rebuild() compacted it, and try_add() only appends fresh (strictly
+  // increasing, canonical) ids. Only un-rebuilt merges can make it stale.
+  if (pending_.empty()) return out;
+  for (Id& id : out) id = find(id);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

@@ -40,6 +40,8 @@ struct EClass {
 
 class EGraph {
  public:
+  EGraph() : op_index_(static_cast<size_t>(Op::kOpCount)) {}
+
   /// Adds an e-node (children are e-class ids; they get canonicalized).
   /// Returns nullopt if the analysis rejects it (shape check failure).
   std::optional<Id> try_add(TNode node);
@@ -67,6 +69,14 @@ class EGraph {
   /// Ids of all canonical (live) e-classes.
   [[nodiscard]] std::vector<Id> canonical_classes() const;
 
+  /// Canonical ids (sorted, deduplicated) of every e-class containing an
+  /// e-node with operator `op`. Maintained incrementally: try_add() appends
+  /// to the per-op bucket and rebuild() re-canonicalizes it, so the result
+  /// may conservatively include classes whose only `op` nodes are filtered
+  /// (harmless to the matcher: those classes simply yield no matches). This
+  /// is the root-operator index the e-matching VM dispatches through.
+  [[nodiscard]] std::vector<Id> classes_with_op(Op op) const;
+
   /// Number of canonical e-classes.
   [[nodiscard]] size_t num_classes() const;
   /// Number of e-nodes, excluding filtered ones.
@@ -92,6 +102,9 @@ class EGraph {
   static void join_data(ValueInfo& into, const ValueInfo& from);
 
   UnionFind uf_;
+  // op -> e-class ids with at least one such e-node; ids may be stale
+  // (non-canonical) or duplicated between rebuilds, never missing.
+  std::vector<std::vector<Id>> op_index_;
   // Deque: eclass()/data() references must survive later try_add() appends.
   std::deque<EClass> classes_;
   std::unordered_map<TNode, Id, TNodeHash> hashcons_;

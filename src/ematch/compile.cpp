@@ -1,0 +1,98 @@
+#include "ematch/program.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace tensat::ematch {
+namespace {
+
+struct Compiler {
+  const Graph& pat;
+  Program prog;
+  std::unordered_map<uint32_t, Reg> var_regs;  // symbol id -> first register
+
+  void compile(Id pid, Reg reg) {
+    const TNode& n = pat.node(pid);
+    switch (n.op) {
+      case Op::kVar: {
+        auto [it, fresh] = var_regs.emplace(n.str.id(), reg);
+        if (fresh) {
+          prog.vars.emplace_back(n.str, reg);
+        } else {
+          Instruction in;
+          in.kind = Instruction::Kind::kCompare;
+          in.reg = reg;
+          in.other = it->second;
+          prog.insts.push_back(in);
+        }
+        return;
+      }
+      case Op::kNum: {
+        Instruction in;
+        in.kind = Instruction::Kind::kCheckNum;
+        in.reg = reg;
+        in.num = n.num;
+        prog.insts.push_back(in);
+        return;
+      }
+      case Op::kStr: {
+        Instruction in;
+        in.kind = Instruction::Kind::kCheckStr;
+        in.reg = reg;
+        in.str = n.str;
+        prog.insts.push_back(in);
+        return;
+      }
+      default: {
+        const Reg out = prog.num_regs;
+        prog.num_regs += static_cast<Reg>(n.children.size());
+        Instruction in;
+        in.kind = Instruction::Kind::kBind;
+        in.reg = reg;
+        in.op = n.op;
+        in.out = out;
+        prog.insts.push_back(in);
+        for (size_t i = 0; i < n.children.size(); ++i)
+          compile(n.children[i], out + static_cast<Reg>(i));
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Program compile_pattern(const Graph& pat, Id root) {
+  Compiler c{pat, {}, {}};
+  c.prog.root_op = pat.node(root).op;
+  c.compile(root, 0);
+  return c.prog;
+}
+
+std::string to_string(const Program& prog) {
+  std::ostringstream os;
+  os << "program(regs=" << prog.num_regs << ", root=" << op_info(prog.root_op).name
+     << ")\n";
+  for (const Instruction& in : prog.insts) {
+    switch (in.kind) {
+      case Instruction::Kind::kBind:
+        os << "  bind r" << in.reg << ", " << op_info(in.op).name << ", r" << in.out
+           << "\n";
+        break;
+      case Instruction::Kind::kCompare:
+        os << "  compare r" << in.reg << ", r" << in.other << "\n";
+        break;
+      case Instruction::Kind::kCheckNum:
+        os << "  check_num r" << in.reg << ", " << in.num << "\n";
+        break;
+      case Instruction::Kind::kCheckStr:
+        os << "  check_str r" << in.reg << ", " << in.str.str() << "\n";
+        break;
+    }
+  }
+  os << "  yield";
+  for (const auto& [var, reg] : prog.vars) os << " ?" << var.str() << "=r" << reg;
+  return os.str();
+}
+
+}  // namespace tensat::ematch

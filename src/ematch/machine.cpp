@@ -1,0 +1,140 @@
+#include "ematch/machine.h"
+
+#include <cstdint>
+
+namespace tensat::ematch {
+namespace {
+
+/// One saved choice point: the kBind at `pc` may still have alternatives
+/// starting at e-node index `next`.
+struct Choice {
+  uint32_t pc;
+  uint32_t next;
+};
+
+struct VM {
+  const EGraph& eg;
+  const Program& prog;
+  size_t matches_left;
+  size_t steps_left;
+  std::vector<Id> regs;
+  std::vector<Choice> stack;
+
+  /// Satisfies the kBind at `pc` using the first admissible e-node at index
+  /// >= `start` of the inspected class: writes the node's canonicalized
+  /// children into the output registers and records the resumption point.
+  /// Returns false when no alternative is left (or the step budget ran out).
+  bool bind_from(uint32_t pc, uint32_t start) {
+    const Instruction& in = prog.insts[pc];
+    const std::vector<EClassNode>& nodes = eg.eclass(regs[in.reg]).nodes;
+    for (uint32_t i = start; i < nodes.size(); ++i) {
+      const EClassNode& entry = nodes[i];
+      if (entry.filtered || entry.node.op != in.op) continue;
+      if (steps_left == 0) return false;
+      --steps_left;
+      for (size_t k = 0; k < entry.node.children.size(); ++k)
+        regs[in.out + k] = eg.find(entry.node.children[k]);
+      stack.push_back(Choice{pc, i + 1});
+      return true;
+    }
+    return false;
+  }
+
+  /// Runs the program with register 0 bound to `root_class`, appending one
+  /// Subst per match. Returns false iff a budget ran out (caller must stop
+  /// the whole search, matching the naive matcher's shared-budget behavior).
+  bool run(Id root_class, std::vector<Subst>& out) {
+    regs.assign(prog.num_regs, kInvalidId);
+    regs[0] = eg.find(root_class);
+    stack.clear();
+    uint32_t pc = 0;
+    for (;;) {
+      // Forward execution until the program fails or completes.
+      bool failed = false;
+      while (pc < prog.insts.size()) {
+        const Instruction& in = prog.insts[pc];
+        bool ok = true;
+        switch (in.kind) {
+          case Instruction::Kind::kBind:
+            ok = bind_from(pc, 0);
+            if (!ok && steps_left == 0) return false;
+            break;
+          case Instruction::Kind::kCompare:
+            ok = regs[in.reg] == regs[in.other];
+            break;
+          case Instruction::Kind::kCheckNum: {
+            const ValueInfo& d = eg.data(regs[in.reg]);
+            ok = d.kind == VKind::kNum && d.num == in.num;
+            break;
+          }
+          case Instruction::Kind::kCheckStr: {
+            const ValueInfo& d = eg.data(regs[in.reg]);
+            ok = d.kind == VKind::kStr && d.str == in.str;
+            break;
+          }
+        }
+        if (!ok) {
+          failed = true;
+          break;
+        }
+        ++pc;
+      }
+      if (!failed) {
+        if (matches_left == 0) return false;
+        --matches_left;
+        Subst subst;
+        for (const auto& [var, reg] : prog.vars) subst.bind(var, regs[reg]);
+        out.push_back(std::move(subst));
+      }
+      // Backtrack to the most recent choice point with an alternative left.
+      for (;;) {
+        if (stack.empty()) return true;
+        const Choice c = stack.back();
+        stack.pop_back();
+        if (bind_from(c.pc, c.next)) {
+          pc = c.pc + 1;
+          break;
+        }
+        if (steps_left == 0) return false;
+      }
+    }
+  }
+};
+
+VM make_vm(const EGraph& eg, const Program& prog, const MatchLimits& limits) {
+  return VM{eg,
+            prog,
+            limits.max_matches == 0 ? SIZE_MAX : limits.max_matches,
+            limits.max_steps == 0 ? SIZE_MAX : limits.max_steps,
+            {},
+            {}};
+}
+
+}  // namespace
+
+std::vector<PatternMatch> search(const EGraph& eg, const Program& prog,
+                                 const MatchLimits& limits) {
+  VM vm = make_vm(eg, prog, limits);
+  std::vector<PatternMatch> matches;
+  const std::vector<Id> candidates = op_is_leaf(prog.root_op)
+                                         ? eg.canonical_classes()
+                                         : eg.classes_with_op(prog.root_op);
+  std::vector<Subst> found;
+  for (Id cls : candidates) {
+    found.clear();
+    const bool in_budget = vm.run(cls, found);
+    for (Subst& s : found) matches.push_back(PatternMatch{cls, std::move(s)});
+    if (!in_budget) break;
+  }
+  return matches;
+}
+
+std::vector<Subst> match_class(const EGraph& eg, const Program& prog, Id class_id,
+                               const MatchLimits& limits) {
+  VM vm = make_vm(eg, prog, limits);
+  std::vector<Subst> out;
+  vm.run(class_id, out);
+  return out;
+}
+
+}  // namespace tensat::ematch

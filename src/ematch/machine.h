@@ -1,0 +1,39 @@
+// The register-based e-matching VM. Executes a compiled Program (program.h)
+// against an e-graph: kBind instructions are the backtracking points
+// (iterating the e-nodes of a class with the right operator), everything
+// else is a straight-line check. Searches dispatch through the e-graph's
+// op-index (EGraph::classes_with_op) so classes that cannot match the
+// pattern root are never visited.
+//
+// Results are bit-for-bit interchangeable with the naive matcher in
+// rewrite/matcher.h: same substitutions, same multiplicities, variables
+// bound to canonical e-class ids (tests/ematch_test.cpp proves this by
+// differential testing across the full rule set).
+#pragma once
+
+#include <vector>
+
+#include "egraph/egraph.h"
+#include "ematch/program.h"
+#include "rewrite/subst.h"
+
+namespace tensat::ematch {
+
+struct MatchLimits {
+  /// Cap on substitutions returned by one search. 0 = unlimited.
+  size_t max_matches = 200000;
+  /// Cap on VM work (e-nodes tried by kBind) per search; the search returns
+  /// what it has when the budget runs out. 0 = unlimited.
+  size_t max_steps = 2000000;
+};
+
+/// All matches of the compiled pattern anywhere in the e-graph. The e-graph
+/// must be clean (rebuilt). Filtered e-nodes are treated as removed.
+std::vector<PatternMatch> search(const EGraph& eg, const Program& prog,
+                                 const MatchLimits& limits = {});
+
+/// Matches of the compiled pattern against one specific e-class.
+std::vector<Subst> match_class(const EGraph& eg, const Program& prog, Id class_id,
+                               const MatchLimits& limits = {});
+
+}  // namespace tensat::ematch

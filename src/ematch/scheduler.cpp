@@ -1,0 +1,51 @@
+#include "ematch/scheduler.h"
+
+#include "support/check.h"
+
+namespace tensat::ematch {
+namespace {
+
+/// `base << shift` saturating at SIZE_MAX (a rule banned dozens of times
+/// must not overflow back into a tiny budget).
+size_t shl_saturating(size_t base, size_t shift) {
+  if (base == 0) return 0;
+  if (shift >= 8 * sizeof(size_t)) return SIZE_MAX;
+  const size_t shifted = base << shift;
+  return (shifted >> shift) == base ? shifted : SIZE_MAX;
+}
+
+}  // namespace
+
+BackoffScheduler::BackoffScheduler(size_t num_rules, BackoffOptions options)
+    : options_(options), stats_(num_rules) {}
+
+size_t BackoffScheduler::match_limit(size_t rule) const {
+  return shl_saturating(options_.match_limit, stats_[rule].times_banned);
+}
+
+bool BackoffScheduler::is_banned(size_t rule, size_t iteration) const {
+  return iteration < stats_[rule].banned_until;
+}
+
+bool BackoffScheduler::record_matches(size_t rule, size_t iteration, size_t matches) {
+  TENSAT_CHECK(rule < stats_.size(), "scheduler: rule index out of range");
+  RuleStats& s = stats_[rule];
+  s.total_matches += matches;
+  if (matches <= match_limit(rule)) return false;
+  const size_t ban = shl_saturating(options_.ban_length, s.times_banned);
+  s.banned_until = iteration + 1 + ban;
+  ++s.times_banned;
+  return true;
+}
+
+bool BackoffScheduler::any_banned(size_t iteration) const {
+  for (const RuleStats& s : stats_)
+    if (iteration < s.banned_until) return true;
+  return false;
+}
+
+void BackoffScheduler::unban_all() {
+  for (RuleStats& s : stats_) s.banned_until = 0;
+}
+
+}  // namespace tensat::ematch

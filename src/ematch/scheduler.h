@@ -1,0 +1,61 @@
+// Rule scheduling for the exploration loop: egg's BackoffScheduler. Each
+// rule has a per-iteration match budget; a rule that blows its budget is
+// banned for a number of iterations, and both the budget and the ban length
+// double with every repeat offense. This keeps cheap, match-explosive
+// algebraic rules from starving the expensive multi-pattern merges of node
+// budget — the role the two hard-coded `max_*_applications` caps used to
+// play, but adaptive per rule.
+//
+// Saturation protocol: the e-graph can only be declared saturated on an
+// iteration where no rule is banned — otherwise the banned rules must be
+// unbanned (unban_all) and exploration continued so they get a final chance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tensat::ematch {
+
+struct BackoffOptions {
+  /// Per-rule applied-match budget per iteration before the rule is banned.
+  size_t match_limit = 1000;
+  /// Base ban duration in iterations; doubles with each repeat offense.
+  size_t ban_length = 5;
+};
+
+class BackoffScheduler {
+ public:
+  explicit BackoffScheduler(size_t num_rules, BackoffOptions options = {});
+
+  /// The rule's current per-iteration budget: match_limit << times_banned.
+  [[nodiscard]] size_t match_limit(size_t rule) const;
+
+  /// True if the rule may not search/apply during `iteration`.
+  [[nodiscard]] bool is_banned(size_t rule, size_t iteration) const;
+
+  /// Records that `rule` produced `matches` applied matches in `iteration`.
+  /// Bans the rule starting with the next iteration when the budget was
+  /// exceeded; returns true exactly when a new ban was imposed.
+  bool record_matches(size_t rule, size_t iteration, size_t matches);
+
+  /// True if any rule is banned during `iteration`.
+  [[nodiscard]] bool any_banned(size_t iteration) const;
+
+  /// Lifts every active ban (budgets stay doubled). Called before declaring
+  /// saturation so previously banned rules get a final iteration.
+  void unban_all();
+
+  struct RuleStats {
+    size_t total_matches{0};  // cumulative applied matches across iterations
+    size_t times_banned{0};
+    size_t banned_until{0};   // first iteration the rule may run again
+  };
+  [[nodiscard]] const RuleStats& stats(size_t rule) const { return stats_[rule]; }
+  [[nodiscard]] size_t num_rules() const { return stats_.size(); }
+
+ private:
+  BackoffOptions options_;
+  std::vector<RuleStats> stats_;
+};
+
+}  // namespace tensat::ematch

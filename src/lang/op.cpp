@@ -95,7 +95,7 @@ std::vector<int32_t> parse_dims(std::string_view text) {
   return dims;
 }
 
-std::string format_dims(std::span<const int32_t> dims) {
+std::string format_dims(span<const int32_t> dims) {
   std::string out;
   for (size_t i = 0; i < dims.size(); ++i) {
     if (i > 0) out.push_back('_');
@@ -110,7 +110,7 @@ std::pair<std::string, std::vector<int32_t>> parse_tensor_id(std::string_view id
   return {std::string(id.substr(0, at)), parse_dims(id.substr(at + 1))};
 }
 
-std::string format_tensor_id(std::string_view name, std::span<const int32_t> dims) {
+std::string format_tensor_id(std::string_view name, span<const int32_t> dims) {
   std::string out(name);
   out.push_back('@');
   out += format_dims(dims);

@@ -9,7 +9,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <span>
+#include "support/span.h"
 #include <string>
 #include <string_view>
 #include <vector>
@@ -94,12 +94,12 @@ bool op_is_leaf(Op op);
 std::vector<int32_t> parse_dims(std::string_view text);
 
 /// Joins {2,3,4} into "2_3_4".
-std::string format_dims(std::span<const int32_t> dims);
+std::string format_dims(span<const int32_t> dims);
 
 /// Splits a tensor identifier "name@d1_d2" into its name and dims.
 std::pair<std::string, std::vector<int32_t>> parse_tensor_id(std::string_view id);
 
 /// Builds a tensor identifier "name@d1_d2_...".
-std::string format_tensor_id(std::string_view name, std::span<const int32_t> dims);
+std::string format_tensor_id(std::string_view name, span<const int32_t> dims);
 
 }  // namespace tensat

@@ -53,7 +53,7 @@ std::optional<ValueInfo> infer_conv(const ValueInfo& sh, const ValueInfo& sw,
   return out;
 }
 
-std::optional<ValueInfo> infer_pool(std::span<const ValueInfo> in) {
+std::optional<ValueInfo> infer_pool(span<const ValueInfo> in) {
   const ValueInfo& x = in[0];
   if (!is_tensor(x) || x.rank() != 4) return std::nullopt;
   for (int i = 1; i <= 6; ++i)
@@ -99,7 +99,7 @@ std::optional<ValueInfo> infer_matmul(const ValueInfo& act, const ValueInfo& a,
   return out;
 }
 
-std::optional<ValueInfo> infer_concat(std::span<const ValueInfo> in) {
+std::optional<ValueInfo> infer_concat(span<const ValueInfo> in) {
   if (!is_num(in[0])) return std::nullopt;
   const int64_t axis = in[0].num;
   const auto tensors = in.subspan(1);
@@ -177,7 +177,7 @@ ValueInfo ValueInfo::of_tensor(std::vector<int32_t> dims, bool weight_only) {
   return out;
 }
 
-std::optional<ValueInfo> infer(const TNode& node, std::span<const ValueInfo> in) {
+std::optional<ValueInfo> infer(const TNode& node, span<const ValueInfo> in) {
   switch (node.op) {
     case Op::kNum:
       return ValueInfo::of_num(node.num);

@@ -16,9 +16,10 @@
 #pragma once
 
 #include <optional>
-#include <span>
 #include <string>
 #include <vector>
+
+#include "support/span.h"
 
 #include "lang/node.h"
 
@@ -31,7 +32,10 @@ enum class VKind : uint8_t { kInvalid, kTensor, kNum, kStr, kTuple };
 struct ConcatEntry {
   int32_t axis{0};
   int32_t pos{0};
-  friend bool operator==(const ConcatEntry&, const ConcatEntry&) = default;
+  friend bool operator==(const ConcatEntry& a, const ConcatEntry& b) {
+    return a.axis == b.axis && a.pos == b.pos;
+  }
+  friend bool operator!=(const ConcatEntry& a, const ConcatEntry& b) { return !(a == b); }
 };
 
 struct ValueInfo {
@@ -44,7 +48,12 @@ struct ValueInfo {
   bool weight_only{false};           // value derivable from weights alone
                                      // (precomputable at inference time)
 
-  friend bool operator==(const ValueInfo&, const ValueInfo&) = default;
+  friend bool operator==(const ValueInfo& a, const ValueInfo& b) {
+    return a.kind == b.kind && a.shape == b.shape && a.shape2 == b.shape2 &&
+           a.hist == b.hist && a.num == b.num && a.str == b.str &&
+           a.weight_only == b.weight_only;
+  }
+  friend bool operator!=(const ValueInfo& a, const ValueInfo& b) { return !(a == b); }
 
   [[nodiscard]] bool is_tensor() const { return kind == VKind::kTensor; }
   [[nodiscard]] int rank() const { return static_cast<int>(shape.size()); }
@@ -60,7 +69,7 @@ struct ValueInfo {
 /// child order). Returns nullopt when the operator's shape preconditions do
 /// not hold — this is exactly the paper's shape check that gates rewrite
 /// application. kVar nodes always return nullopt.
-std::optional<ValueInfo> infer(const TNode& node, std::span<const ValueInfo> inputs);
+std::optional<ValueInfo> infer(const TNode& node, span<const ValueInfo> inputs);
 
 /// Human-readable rendering, for diagnostics and test failure messages.
 std::string to_string(const ValueInfo& v);

@@ -94,6 +94,15 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
   Timer timer;
   ExploreStats stats;
   const MultiPlan plan = build_multi_plan(rules);
+  ematch::BackoffScheduler scheduler(rules.size(), options.backoff);
+
+  // Which rules consume each canonical pattern: a pattern whose every user
+  // is inactive this iteration (banned, or multi-pattern past k_multi) need
+  // not be searched at all.
+  std::vector<std::vector<size_t>> pattern_users(plan.patterns.size());
+  for (size_t r = 0; r < rules.size(); ++r)
+    for (const SourceBinding& sb : plan.rule_sources[r])
+      pattern_users[sb.pattern_index].push_back(r);
 
   eg.rebuild();
   for (int iter = 0; iter < options.k_max; ++iter) {
@@ -108,15 +117,27 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
     const uint64_t version_before = eg.version();
     stats.iterations = iter + 1;
 
+    auto rule_active = [&](size_t r) {
+      if (scheduler.is_banned(r, static_cast<size_t>(iter))) return false;
+      return !(rules[r].is_multi() && iter >= options.k_multi);
+    };
+
     // The descendants map is rebuilt once per iteration (Algorithm 2 line 3).
     std::unique_ptr<DescendantsMap> dmap;
     if (options.cycle_filter == CycleFilterMode::kEfficient)
       dmap = std::make_unique<DescendantsMap>(eg);
 
-    // SEARCH: all canonical patterns, once each (Algorithm 1 line 10).
+    // SEARCH: all canonical patterns with at least one active consumer, once
+    // each (Algorithm 1 line 10), on the compiled e-matching VM.
     std::vector<std::vector<PatternMatch>> matches(plan.patterns.size());
     for (size_t p = 0; p < plan.patterns.size(); ++p) {
-      matches[p] = search_pattern(eg, plan.patterns[p].pat, plan.patterns[p].root);
+      bool any_active = false;
+      for (size_t r : pattern_users[p]) any_active = any_active || rule_active(r);
+      if (!any_active) {
+        ++stats.searches_skipped;
+        continue;
+      }
+      matches[p] = ematch::search(eg, plan.patterns[p].program);
       stats.matches_found += matches[p].size();
     }
 
@@ -133,8 +154,9 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
     for (size_t r : rule_order) {
       if (hit_node_limit) break;
       const Rewrite& rule = rules[r];
-      if (rule.is_multi() && iter >= options.k_multi) continue;
+      if (!rule_active(r)) continue;
       const auto& sources = plan.rule_sources[r];
+      const size_t budget = scheduler.match_limit(r);
       size_t applied_this_rule = 0;
 
       // De-canonicalized match lists per source pattern (Algorithm 1 ln 12-15).
@@ -164,12 +186,11 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         }
         if (combined.has_value()) {  // COMPATIBLE
           app.subst = std::move(*combined);
+          ++applied_this_rule;
+          // Budget blown: stop here; record_matches below imposes the ban.
+          if (applied_this_rule > budget) break;
           if (apply_one(eg, app, options.cycle_filter, dmap.get()))
             ++stats.applications;
-          ++applied_this_rule;
-          const size_t cap = rule.is_multi() ? options.max_applications_per_rule
-                                             : options.max_single_rule_applications;
-          if (applied_this_rule >= cap) break;
           if (eg.num_enodes_total() >= options.node_limit) hit_node_limit = true;
           if (timer.seconds() > options.explore_time_limit_s) break;
         }
@@ -181,6 +202,8 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         }
         if (k == idx.size()) break;
       }
+      if (scheduler.record_matches(r, static_cast<size_t>(iter), applied_this_rule))
+        ++stats.bans;
     }
 
     eg.rebuild();
@@ -198,6 +221,14 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       break;
     }
     if (eg.version() == version_before) {
+      // Saturation may only be declared when no rule sat out the iteration
+      // that just ran: a banned rule could still grow the e-graph. Lift the
+      // bans and give those rules a final iteration instead.
+      if (scheduler.any_banned(static_cast<size_t>(iter))) {
+        scheduler.unban_all();
+        stats.stop = StopReason::kIterLimit;
+        continue;
+      }
       stats.stop = StopReason::kSaturated;
       break;
     }

@@ -9,6 +9,7 @@
 
 #include "cost/cost.h"
 #include "egraph/egraph.h"
+#include "ematch/scheduler.h"
 #include "extract/extract.h"
 #include "lang/graph.h"
 #include "rewrite/rules.h"
@@ -33,14 +34,12 @@ struct TensatOptions {
   CycleFilterMode cycle_filter = CycleFilterMode::kEfficient;
   ExtractorKind extractor = ExtractorKind::kIlp;
   IlpExtractOptions ilp;
-  /// Cap on match tuples applied per rule per iteration (guards the
-  /// double-exponential multi-pattern growth between node-limit checks).
-  size_t max_applications_per_rule = 100000;
-  /// Tighter per-iteration cap for single-pattern rules: the cheap algebraic
-  /// rules produce orders of magnitude more matches than the multi-pattern
-  /// merges and would otherwise exhaust the node budget in iteration one
-  /// (the role egg's BackoffScheduler plays for TENSAT).
-  size_t max_single_rule_applications = 100000;
+  /// Rule scheduling (egg's BackoffScheduler): per-rule per-iteration match
+  /// budgets with temporary bans for rules that blow them. Replaces the old
+  /// hard per-rule application caps; the default budget is high enough that
+  /// bans only kick in on genuinely match-explosive rules, and banned rules
+  /// always get a final chance before saturation is declared.
+  ematch::BackoffOptions backoff{/*match_limit=*/100000, /*ban_length=*/5};
 };
 
 struct ExploreStats {
@@ -52,6 +51,11 @@ struct ExploreStats {
   size_t filtered{0};
   size_t matches_found{0};
   size_t applications{0};
+  /// Rule bans imposed by the backoff scheduler across all iterations.
+  size_t bans{0};
+  /// Pattern searches skipped because every rule using the pattern was
+  /// banned (or out of its multi-pattern window).
+  size_t searches_skipped{0};
   double seconds{0.0};
 };
 

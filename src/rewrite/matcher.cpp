@@ -64,8 +64,9 @@ struct Matcher {
 
 }  // namespace
 
-std::vector<Subst> match_class(const EGraph& eg, const Graph& pat, Id pattern_root,
-                               Id class_id, const SearchLimits& limits) {
+std::vector<Subst> match_class_naive(const EGraph& eg, const Graph& pat,
+                                     Id pattern_root, Id class_id,
+                                     const SearchLimits& limits) {
   Matcher m{eg, pat, limits.max_matches == 0 ? SIZE_MAX : limits.max_matches,
             limits.max_steps == 0 ? SIZE_MAX : limits.max_steps};
   std::vector<Subst> out;
@@ -73,8 +74,9 @@ std::vector<Subst> match_class(const EGraph& eg, const Graph& pat, Id pattern_ro
   return out;
 }
 
-std::vector<PatternMatch> search_pattern(const EGraph& eg, const Graph& pat,
-                                         Id pattern_root, const SearchLimits& limits) {
+std::vector<PatternMatch> search_pattern_naive(const EGraph& eg, const Graph& pat,
+                                               Id pattern_root,
+                                               const SearchLimits& limits) {
   std::vector<PatternMatch> matches;
   const size_t budget = limits.max_matches == 0 ? SIZE_MAX : limits.max_matches;
   Matcher m{eg, pat, budget,
@@ -89,6 +91,20 @@ std::vector<PatternMatch> search_pattern(const EGraph& eg, const Graph& pat,
     }
   }
   return matches;
+}
+
+std::vector<Subst> match_class(const EGraph& eg, const Graph& pat, Id pattern_root,
+                               Id class_id, const SearchLimits& limits) {
+  const ematch::Program prog = ematch::compile_pattern(pat, pattern_root);
+  return ematch::match_class(eg, prog, class_id,
+                             ematch::MatchLimits{limits.max_matches, limits.max_steps});
+}
+
+std::vector<PatternMatch> search_pattern(const EGraph& eg, const Graph& pat,
+                                         Id pattern_root, const SearchLimits& limits) {
+  const ematch::Program prog = ematch::compile_pattern(pat, pattern_root);
+  return ematch::search(eg, prog,
+                        ematch::MatchLimits{limits.max_matches, limits.max_steps});
 }
 
 std::optional<Id> instantiate(EGraph& eg, const Graph& pat, Id root, const Subst& subst) {

@@ -37,6 +37,7 @@ CanonicalPattern canonicalize_pattern(const Graph& pat, Id root,
   std::unordered_map<uint32_t, Symbol> var_map;
   out.root = copy_renamed(pat, root, out.pat, var_map, rename);
   out.key = out.pat.to_sexpr(out.root);
+  out.program = ematch::compile_pattern(out.pat, out.root);
   return out;
 }
 

@@ -12,16 +12,20 @@
 #include <string>
 #include <vector>
 
+#include "ematch/program.h"
 #include "rewrite/matcher.h"
 #include "rewrite/rewrite.h"
 
 namespace tensat {
 
-/// A deduplicated canonical source pattern shared by one or more rules.
+/// A deduplicated canonical source pattern shared by one or more rules,
+/// pre-compiled for the e-matching VM (searches reuse the program; the
+/// pattern AST is kept for the naive reference matcher and diagnostics).
 struct CanonicalPattern {
   Graph pat{GraphKind::kPattern};
   Id root{kInvalidId};
   std::string key;  // canonical S-expr (dedup key)
+  ematch::Program program;
 };
 
 /// For one source S-expr of one rule: which canonical pattern to search, and

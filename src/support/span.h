@@ -1,0 +1,58 @@
+// Minimal C++17 stand-in for std::span (the project targets C++17; the
+// standard type arrives in C++20). Covers only what this codebase uses:
+// non-owning view over contiguous storage, constructible from containers
+// with data()/size() (vector, array, Tensor storage) and from pointer+size.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+
+namespace tensat {
+
+template <typename T>
+class span {
+ public:
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+
+  constexpr span() noexcept = default;
+  constexpr span(T* data, size_t size) noexcept : data_(data), size_(size) {}
+
+  /// From any contiguous container whose data() pointer converts to T*.
+  template <typename Container,
+            typename = std::enable_if_t<std::is_convertible_v<
+                decltype(std::declval<Container&>().data()), T*>>>
+  constexpr span(Container& c) noexcept : data_(c.data()), size_(c.size()) {}
+  template <typename Container,
+            typename = std::enable_if_t<std::is_convertible_v<
+                decltype(std::declval<const Container&>().data()), T*>>>
+  constexpr span(const Container& c) noexcept : data_(c.data()), size_(c.size()) {}
+
+  template <size_t N>
+  constexpr span(T (&arr)[N]) noexcept : data_(arr), size_(N) {}
+
+  /// Braced-list arguments ({1, 2, 3}); valid for spans of const elements only
+  /// (the list's backing array lives for the duration of the full expression).
+  template <typename U = T, typename = std::enable_if_t<std::is_const_v<U>>>
+  constexpr span(std::initializer_list<value_type> il) noexcept
+      : data_(il.begin()), size_(il.size()) {}
+
+  [[nodiscard]] constexpr T* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  [[nodiscard]] constexpr T& front() const { return data_[0]; }
+  [[nodiscard]] constexpr T& back() const { return data_[size_ - 1]; }
+  [[nodiscard]] constexpr T* begin() const noexcept { return data_; }
+  [[nodiscard]] constexpr T* end() const noexcept { return data_ + size_; }
+  [[nodiscard]] constexpr span subspan(size_t offset) const {
+    return span(data_ + offset, size_ - offset);
+  }
+
+ private:
+  T* data_{nullptr};
+  size_t size_{0};
+};
+
+}  // namespace tensat

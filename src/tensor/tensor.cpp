@@ -10,7 +10,7 @@
 namespace tensat {
 namespace {
 
-int64_t product(std::span<const int32_t> dims) {
+int64_t product(span<const int32_t> dims) {
   int64_t v = 1;
   for (int32_t d : dims) v *= d;
   return v;
@@ -47,7 +47,7 @@ Tensor::Tensor(std::vector<int32_t> dims, std::vector<float> values)
                "tensor data size does not match dims");
 }
 
-int64_t Tensor::offset(std::span<const int32_t> idx) const {
+int64_t Tensor::offset(span<const int32_t> idx) const {
   TENSAT_CHECK(idx.size() == dims_.size(), "index rank mismatch");
   int64_t off = 0;
   for (size_t d = 0; d < dims_.size(); ++d) {
@@ -58,8 +58,8 @@ int64_t Tensor::offset(std::span<const int32_t> idx) const {
   return off;
 }
 
-float& Tensor::at(std::span<const int32_t> idx) { return data_[offset(idx)]; }
-float Tensor::at(std::span<const int32_t> idx) const { return data_[offset(idx)]; }
+float& Tensor::at(span<const int32_t> idx) { return data_[offset(idx)]; }
+float Tensor::at(span<const int32_t> idx) const { return data_[offset(idx)]; }
 
 float& Tensor::at2(int32_t i, int32_t j) {
   const int32_t idx[] = {i, j};
@@ -247,7 +247,7 @@ Tensor poolavg(const Tensor& x, int32_t kh, int32_t kw, int32_t sh, int32_t sw,
   return pool_impl<false>(x, kh, kw, sh, sw, pad, act);
 }
 
-Tensor transpose(const Tensor& x, std::span<const int32_t> perm) {
+Tensor transpose(const Tensor& x, span<const int32_t> perm) {
   const int rank = x.rank();
   TENSAT_CHECK(static_cast<int>(perm.size()) == rank, "transpose: bad perm size");
   std::vector<int32_t> dims(rank);
@@ -282,7 +282,7 @@ Tensor enlarge(const Tensor& x, int32_t ref_kh, int32_t ref_kw) {
   return out;
 }
 
-Tensor concat(int32_t axis, std::span<const Tensor* const> inputs) {
+Tensor concat(int32_t axis, span<const Tensor* const> inputs) {
   TENSAT_CHECK(!inputs.empty(), "concat: no inputs");
   const int rank = inputs[0]->rank();
   std::vector<int32_t> dims = inputs[0]->dims();

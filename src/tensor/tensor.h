@@ -8,7 +8,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "support/span.h"
 #include <vector>
 
 #include "lang/op.h"
@@ -24,11 +24,11 @@ class Tensor {
   [[nodiscard]] const std::vector<int32_t>& dims() const { return dims_; }
   [[nodiscard]] int rank() const { return static_cast<int>(dims_.size()); }
   [[nodiscard]] int64_t volume() const { return static_cast<int64_t>(data_.size()); }
-  [[nodiscard]] std::span<const float> data() const { return data_; }
-  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] span<const float> data() const { return data_; }
+  [[nodiscard]] span<float> data() { return data_; }
 
-  float& at(std::span<const int32_t> idx);
-  [[nodiscard]] float at(std::span<const int32_t> idx) const;
+  float& at(span<const int32_t> idx);
+  [[nodiscard]] float at(span<const int32_t> idx) const;
 
   // Convenience accessors for common ranks.
   float& at2(int32_t i, int32_t j);
@@ -40,7 +40,7 @@ class Tensor {
   [[nodiscard]] static float max_abs_diff(const Tensor& a, const Tensor& b);
 
  private:
-  [[nodiscard]] int64_t offset(std::span<const int32_t> idx) const;
+  [[nodiscard]] int64_t offset(span<const int32_t> idx) const;
   std::vector<int32_t> dims_;
   std::vector<float> data_;
 };
@@ -64,11 +64,11 @@ Tensor poolmax(const Tensor& x, int32_t kh, int32_t kw, int32_t sh, int32_t sw,
 /// the average (count over valid elements).
 Tensor poolavg(const Tensor& x, int32_t kh, int32_t kw, int32_t sh, int32_t sw,
                Padding pad, Activation act);
-Tensor transpose(const Tensor& x, std::span<const int32_t> perm);
+Tensor transpose(const Tensor& x, span<const int32_t> perm);
 /// Zero-pads a conv kernel (cout,cin,kh,kw) symmetrically to the reference
 /// kernel's spatial size.
 Tensor enlarge(const Tensor& x, int32_t ref_kh, int32_t ref_kw);
-Tensor concat(int32_t axis, std::span<const Tensor* const> inputs);
+Tensor concat(int32_t axis, span<const Tensor* const> inputs);
 /// Splits along `axis` at `pos` (first half gets [0,pos)).
 std::pair<Tensor, Tensor> split_at(const Tensor& x, int32_t axis, int32_t pos);
 Tensor reshape(const Tensor& x, std::vector<int32_t> dims);
