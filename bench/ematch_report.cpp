@@ -1,10 +1,17 @@
-// E-matching throughput report: runs the bench/micro_egraph.cpp matcher
-// workload (every canonical pattern of the default rule set against model
-// seed e-graphs) through both the naive recursive matcher and the compiled
-// e-matching VM, and writes matches/sec plus the speedup to a JSON file so
-// later PRs have a perf trajectory to compare against.
+// E-matching throughput report (see bench/README.md for the JSON schema):
+//
+//  1. single-pattern: every canonical pattern of the default rule set against
+//     model seed e-graphs, naive recursive matcher vs compiled VM (the same
+//     workload as bench/micro_egraph.cpp BM_EMatchAllRules*). Gate: the VM
+//     must stay >= 2x the naive matcher.
+//  2. multi_join: every multi-pattern rule, Cartesian-product join of the
+//     per-source match sets vs the joint VM program that prunes incompatible
+//     combinations during the search. Gate: joint must not be slower overall.
+//  3. parallel: the full canonical-pattern sweep on 1 thread vs a small
+//     worker pool (ematch::search_all; identical results by construction).
 //
 // Usage: bench_ematch_report [output.json]   (default: BENCH_ematch.json)
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,6 +21,7 @@
 #include "rewrite/matcher.h"
 #include "rewrite/multi.h"
 #include "rewrite/rules.h"
+#include "support/parallel.h"
 #include "support/timer.h"
 
 using namespace tensat;
@@ -45,12 +53,38 @@ Throughput measure(const SearchAll& search_all, double min_seconds = 0.3) {
   return t;
 }
 
+/// A multi-pattern stress graph: `groups` distinct inputs, each feeding
+/// `per_group` matmuls. Every matmul matches every multi-rule source, so the
+/// Cartesian product has (groups*per_group)^2 combinations per rule while
+/// only same-input (resp. same-weight) pairs are compatible — the blow-up
+/// case the joint plan exists for.
+Graph make_shared_matmul_blowup(int groups, int per_group) {
+  Graph g;
+  for (int grp = 0; grp < groups; ++grp) {
+    const Id x = g.input("x" + std::to_string(grp), {64, 64});
+    for (int i = 0; i < per_group; ++i) {
+      const Id w =
+          g.weight("w" + std::to_string(grp) + "_" + std::to_string(i), {64, 64});
+      g.add_root(g.matmul(x, w));
+    }
+  }
+  return g;
+}
+
+/// One workload e-graph for the multi_join and parallel sections.
+struct Workload {
+  std::string name;
+  EGraph eg;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_ematch.json";
-  const MultiPlan plan = build_multi_plan(default_rules());
+  const std::vector<Rewrite>& rules = default_rules();
+  const MultiPlan plan = build_multi_plan(rules);
 
+  // ---- Section 1: naive vs VM on every canonical pattern -------------------
   struct ModelRow {
     std::string name;
     size_t eclasses;
@@ -98,6 +132,139 @@ int main(int argc, char** argv) {
   }
   const double speedup = vm_seconds > 0.0 ? naive_seconds / vm_seconds : 0.0;
 
+  // ---- Workloads for the multi_join and parallel sections ------------------
+  // Seed e-graphs are small; an explored e-graph (merged classes, more
+  // e-nodes per class) plus a synthetic shared-operand graph cover the
+  // regimes where the Cartesian product actually blows up.
+  std::vector<Workload> workloads;
+  workloads.push_back({"BERT(2,32,128) seed", seed_egraph(models[0].graph)});
+  workloads.push_back({"SharedMM(8x12) seed", seed_egraph(make_shared_matmul_blowup(8, 12))});
+  {
+    EGraph eg = seed_egraph(models[0].graph);
+    TensatOptions opt;
+    opt.k_max = 2;
+    opt.k_multi = 1;
+    opt.node_limit = 4000;
+    run_exploration(eg, rules, opt);
+    workloads.push_back({"BERT(2,32,128) explored", std::move(eg)});
+  }
+
+  // ---- Section 2: Cartesian-product join vs joint plan ---------------------
+  struct JoinRow {
+    std::string name;
+    size_t eclasses;
+    size_t combos_tried;  // tuples the Cartesian join examines per sweep
+    Throughput cartesian;
+    Throughput joint;
+  };
+  std::vector<JoinRow> join_rows;
+
+  std::printf("\n%-24s %10s %12s | %12s %12s | %8s\n", "multi-pattern join",
+              "combos", "cart m/s", "joint m/s", "matches", "speedup");
+  for (Workload& w : workloads) {
+    const EGraph& eg = w.eg;
+    JoinRow row;
+    row.name = w.name;
+    row.eclasses = eg.num_classes();
+    row.combos_tried = 0;
+    // Cartesian baseline, exactly as the exploration loop used to do it:
+    // search each canonical source pattern once (shared across rules), then
+    // per rule decanonicalize the per-source lists and join them.
+    row.cartesian = measure([&] {
+      std::vector<std::vector<PatternMatch>> matches(plan.patterns.size());
+      std::vector<bool> searched(plan.patterns.size(), false);
+      size_t total = 0;
+      row.combos_tried = 0;
+      for (size_t r = 0; r < rules.size(); ++r) {
+        if (!rules[r].is_multi()) continue;
+        std::vector<std::vector<PatternMatch>> per_source;
+        for (const SourceBinding& sb : plan.rule_sources[r]) {
+          if (!searched[sb.pattern_index]) {
+            matches[sb.pattern_index] =
+                ematch::search(eg, plan.patterns[sb.pattern_index].program);
+            searched[sb.pattern_index] = true;
+          }
+          std::vector<PatternMatch> list;
+          list.reserve(matches[sb.pattern_index].size());
+          for (const PatternMatch& m : matches[sb.pattern_index])
+            list.push_back(PatternMatch{m.root, decanonicalize(m.subst, sb.rename)});
+          per_source.push_back(std::move(list));
+        }
+        size_t combos = 0;
+        total += cartesian_join(per_source, 0, &combos).size();
+        row.combos_tried += combos;
+      }
+      return total;
+    });
+    row.joint = measure([&] {
+      size_t total = 0;
+      for (size_t r = 0; r < rules.size(); ++r)
+        if (rules[r].is_multi())
+          total += ematch::search_joint(eg, plan.joint_programs[r]).size();
+      return total;
+    });
+    std::printf("%-24s %10zu %12.0f | %12.0f %12zu | %7.2fx\n", row.name.c_str(),
+                row.combos_tried, row.cartesian.matches_per_sec(),
+                row.joint.matches_per_sec(), row.joint.matches,
+                row.cartesian.seconds / row.joint.seconds);
+    if (row.cartesian.matches != row.joint.matches) {
+      std::fprintf(stderr,
+                   "joint/cartesian match-count mismatch on %s: %zu vs %zu\n",
+                   row.name.c_str(), row.joint.matches, row.cartesian.matches);
+      return 3;
+    }
+    join_rows.push_back(std::move(row));
+  }
+
+  double cart_seconds = 0.0, joint_seconds = 0.0;
+  for (const JoinRow& r : join_rows) {
+    cart_seconds += r.cartesian.seconds;
+    joint_seconds += r.joint.seconds;
+  }
+  const double join_speedup =
+      joint_seconds > 0.0 ? cart_seconds / joint_seconds : 0.0;
+
+  // ---- Section 3: serial vs parallel canonical-pattern sweep ---------------
+  // At least 2 so the worker-pool path is really measured, even on one core
+  // (where the honest answer is "no speedup"); at most 4 to keep CI stable.
+  const size_t pool =
+      std::max<size_t>(2, std::min<size_t>(4, resolve_threads(0)));
+  std::vector<const ematch::Program*> progs;
+  progs.reserve(plan.patterns.size());
+  for (const CanonicalPattern& cp : plan.patterns) progs.push_back(&cp.program);
+
+  struct ParallelRow {
+    std::string name;
+    Throughput serial;
+    Throughput parallel;
+  };
+  std::vector<ParallelRow> par_rows;
+
+  std::printf("\n%-24s %12s | %12s | %8s   (%zu threads)\n", "parallel sweep",
+              "1-thread m/s", "N-thread m/s", "speedup", pool);
+  for (Workload& w : workloads) {
+    const EGraph& eg = w.eg;
+    ParallelRow row;
+    row.name = w.name;
+    row.serial = measure([&] {
+      size_t total = 0;
+      for (const auto& found : ematch::search_all(eg, progs, 1))
+        total += found.size();
+      return total;
+    });
+    row.parallel = measure([&] {
+      size_t total = 0;
+      for (const auto& found : ematch::search_all(eg, progs, pool))
+        total += found.size();
+      return total;
+    });
+    std::printf("%-24s %12.0f | %12.0f | %7.2fx\n", row.name.c_str(),
+                row.serial.matches_per_sec(), row.parallel.matches_per_sec(),
+                row.serial.seconds / row.parallel.seconds);
+    par_rows.push_back(std::move(row));
+  }
+
+  // ---- JSON report ---------------------------------------------------------
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
@@ -123,10 +290,51 @@ int main(int argc, char** argv) {
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"overall_speedup_vm_over_naive\": %.2f\n", speedup);
+  std::fprintf(f, "  \"overall_speedup_vm_over_naive\": %.2f,\n", speedup);
+  std::fprintf(f, "  \"multi_join\": {\n");
+  std::fprintf(f, "    \"workload\": \"all multi-pattern rules of default_rules(): "
+                  "Cartesian-product join of per-source VM match sets vs joint VM "
+                  "program (src/ematch joint plan)\",\n");
+  std::fprintf(f, "    \"rows\": [\n");
+  for (size_t i = 0; i < join_rows.size(); ++i) {
+    const JoinRow& r = join_rows[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"eclasses\": %zu, "
+                 "\"combined_matches\": %zu, \"cartesian_combos_tried\": %zu,\n"
+                 "       \"cartesian\": {\"seconds_per_sweep\": %.6f}, "
+                 "\"joint\": {\"seconds_per_sweep\": %.6f}, \"speedup\": %.2f}%s\n",
+                 r.name.c_str(), r.eclasses, r.joint.matches, r.combos_tried,
+                 r.cartesian.seconds, r.joint.seconds,
+                 r.cartesian.seconds / r.joint.seconds,
+                 i + 1 < join_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"overall_speedup_joint_over_cartesian\": %.2f\n", join_speedup);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"parallel\": {\n");
+  std::fprintf(f, "    \"workload\": \"full canonical-pattern sweep via "
+                  "ematch::search_all, 1 thread vs pool (identical results by "
+                  "construction)\",\n");
+  std::fprintf(f, "    \"threads\": %zu,\n", pool);
+  std::fprintf(f, "    \"rows\": [\n");
+  for (size_t i = 0; i < par_rows.size(); ++i) {
+    const ParallelRow& r = par_rows[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"serial\": {\"seconds_per_sweep\": %.6f}, "
+                 "\"parallel\": {\"seconds_per_sweep\": %.6f}, \"speedup\": %.2f}%s\n",
+                 r.name.c_str(), r.serial.seconds, r.parallel.seconds,
+                 r.serial.seconds / r.parallel.seconds,
+                 i + 1 < par_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
-  std::printf("\noverall speedup (vm over naive): %.2fx -> %s\n", speedup,
-              out_path.c_str());
-  return speedup >= 2.0 ? 0 : 2;  // acceptance gate: VM must be >= 2x naive
+
+  std::printf("\noverall speedup (vm over naive): %.2fx, (joint over cartesian): "
+              "%.2fx -> %s\n",
+              speedup, join_speedup, out_path.c_str());
+  if (speedup < 2.0) return 2;        // gate: VM must be >= 2x naive
+  if (join_speedup < 1.0) return 4;   // gate: joint join must not lose overall
+  return 0;
 }

@@ -110,6 +110,9 @@ void EGraph::rebuild() {
     std::sort(bucket.begin(), bucket.end());
     bucket.erase(std::unique(bucket.begin(), bucket.end()), bucket.end());
   }
+  // Fully compress the union-find so find() on the clean e-graph is a pure
+  // read; the parallel pattern search depends on this (support/parallel.h).
+  uf_.compress_all();
 }
 
 void EGraph::repair(Id id) {

@@ -20,12 +20,25 @@ class UnionFind {
 
   [[nodiscard]] size_t size() const { return parent_.size(); }
 
+  /// Path-halving find. The halving write is skipped when it would not
+  /// change anything, so on a fully compressed forest (see compress_all)
+  /// find() is a pure read — concurrent finds from the parallel pattern
+  /// search are then race-free.
   Id find(Id x) const {
     while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];  // path halving
-      x = parent_[x];
+      const Id p = parent_[x];
+      const Id gp = parent_[p];
+      if (p != gp) parent_[x] = gp;
+      x = gp;
     }
     return x;
+  }
+
+  /// Points every element directly at its root. Until the next unite(),
+  /// find() performs no writes, which makes concurrent lookups safe; called
+  /// by EGraph::rebuild() so searches on a clean e-graph are read-only.
+  void compress_all() {
+    for (Id x = 0; x < static_cast<Id>(parent_.size()); ++x) parent_[x] = find(x);
   }
 
   /// Unions the sets of a and b; returns the new representative.

@@ -69,6 +69,23 @@ Program compile_pattern(const Graph& pat, Id root) {
   return c.prog;
 }
 
+Program compile_joint_pattern(const Graph& pat, const std::vector<Id>& roots) {
+  Compiler c{pat, {}, {}};
+  c.prog.num_regs = 0;  // no externally driven root register; kScan binds them
+  c.prog.root_op = pat.node(roots.front()).op;
+  for (Id root : roots) {
+    const Reg r = c.prog.num_regs++;
+    Instruction in;
+    in.kind = Instruction::Kind::kScan;
+    in.reg = r;
+    in.op = pat.node(root).op;
+    c.prog.insts.push_back(in);
+    c.compile(root, r);
+    c.prog.root_regs.push_back(r);
+  }
+  return c.prog;
+}
+
 std::string to_string(const Program& prog) {
   std::ostringstream os;
   os << "program(regs=" << prog.num_regs << ", root=" << op_info(prog.root_op).name
@@ -88,9 +105,13 @@ std::string to_string(const Program& prog) {
       case Instruction::Kind::kCheckStr:
         os << "  check_str r" << in.reg << ", " << in.str.str() << "\n";
         break;
+      case Instruction::Kind::kScan:
+        os << "  scan r" << in.reg << ", " << op_info(in.op).name << "\n";
+        break;
     }
   }
   os << "  yield";
+  for (Reg r : prog.root_regs) os << " root=r" << r;
   for (const auto& [var, reg] : prog.vars) os << " ?" << var.str() << "=r" << reg;
   return os.str();
 }

@@ -1,12 +1,15 @@
 #include "ematch/machine.h"
 
 #include <cstdint>
+#include <unordered_map>
+
+#include "support/parallel.h"
 
 namespace tensat::ematch {
 namespace {
 
-/// One saved choice point: the kBind at `pc` may still have alternatives
-/// starting at e-node index `next`.
+/// One saved choice point: the kBind/kScan at `pc` may still have
+/// alternatives starting at e-node (resp. candidate-class) index `next`.
 struct Choice {
   uint32_t pc;
   uint32_t next;
@@ -19,6 +22,9 @@ struct VM {
   size_t steps_left;
   std::vector<Id> regs;
   std::vector<Choice> stack;
+  /// Candidate root classes per kScan instruction, keyed by pc. Computed
+  /// lazily on first use so single-pattern programs pay nothing.
+  std::unordered_map<uint32_t, std::vector<Id>> scan_candidates;
 
   /// Satisfies the kBind at `pc` using the first admissible e-node at index
   /// >= `start` of the inspected class: writes the node's canonicalized
@@ -40,12 +46,33 @@ struct VM {
     return false;
   }
 
-  /// Runs the program with register 0 bound to `root_class`, appending one
-  /// Subst per match. Returns false iff a budget ran out (caller must stop
-  /// the whole search, matching the naive matcher's shared-budget behavior).
-  bool run(Id root_class, std::vector<Subst>& out) {
-    regs.assign(prog.num_regs, kInvalidId);
-    regs[0] = eg.find(root_class);
+  /// Satisfies the kScan at `pc` with the candidate class at index >= `start`
+  /// of its candidate list, recording the resumption point. Candidates come
+  /// from the op-index (all canonical classes for leaf-rooted sub-patterns).
+  bool scan_from(uint32_t pc, uint32_t start) {
+    auto it = scan_candidates.find(pc);
+    if (it == scan_candidates.end()) {
+      const Op op = prog.insts[pc].op;
+      it = scan_candidates
+               .emplace(pc, op_is_leaf(op) ? eg.canonical_classes()
+                                           : eg.classes_with_op(op))
+               .first;
+    }
+    const std::vector<Id>& candidates = it->second;
+    if (start >= candidates.size()) return false;
+    if (steps_left == 0) return false;
+    --steps_left;
+    regs[prog.insts[pc].reg] = candidates[start];
+    stack.push_back(Choice{pc, start + 1});
+    return true;
+  }
+
+  /// Runs the program from instruction 0 with the registers as currently
+  /// initialized, invoking `on_match()` once per complete match. Returns
+  /// false iff a budget ran out (caller must stop the whole search, matching
+  /// the naive matcher's shared-budget behavior).
+  template <typename OnMatch>
+  bool run(OnMatch&& on_match) {
     stack.clear();
     uint32_t pc = 0;
     for (;;) {
@@ -57,6 +84,10 @@ struct VM {
         switch (in.kind) {
           case Instruction::Kind::kBind:
             ok = bind_from(pc, 0);
+            if (!ok && steps_left == 0) return false;
+            break;
+          case Instruction::Kind::kScan:
+            ok = scan_from(pc, 0);
             if (!ok && steps_left == 0) return false;
             break;
           case Instruction::Kind::kCompare:
@@ -82,22 +113,34 @@ struct VM {
       if (!failed) {
         if (matches_left == 0) return false;
         --matches_left;
-        Subst subst;
-        for (const auto& [var, reg] : prog.vars) subst.bind(var, regs[reg]);
-        out.push_back(std::move(subst));
+        on_match();
       }
       // Backtrack to the most recent choice point with an alternative left.
       for (;;) {
         if (stack.empty()) return true;
         const Choice c = stack.back();
         stack.pop_back();
-        if (bind_from(c.pc, c.next)) {
+        const bool resumed = prog.insts[c.pc].kind == Instruction::Kind::kScan
+                                 ? scan_from(c.pc, c.next)
+                                 : bind_from(c.pc, c.next);
+        if (resumed) {
           pc = c.pc + 1;
           break;
         }
         if (steps_left == 0) return false;
       }
     }
+  }
+
+  /// Single-pattern entry: register 0 holds the candidate root class.
+  bool run_rooted(Id root_class, std::vector<Subst>& out) {
+    regs.assign(prog.num_regs, kInvalidId);
+    regs[0] = eg.find(root_class);
+    return run([&] {
+      Subst subst;
+      for (const auto& [var, reg] : prog.vars) subst.bind(var, regs[reg]);
+      out.push_back(std::move(subst));
+    });
   }
 };
 
@@ -106,6 +149,7 @@ VM make_vm(const EGraph& eg, const Program& prog, const MatchLimits& limits) {
             prog,
             limits.max_matches == 0 ? SIZE_MAX : limits.max_matches,
             limits.max_steps == 0 ? SIZE_MAX : limits.max_steps,
+            {},
             {},
             {}};
 }
@@ -122,7 +166,7 @@ std::vector<PatternMatch> search(const EGraph& eg, const Program& prog,
   std::vector<Subst> found;
   for (Id cls : candidates) {
     found.clear();
-    const bool in_budget = vm.run(cls, found);
+    const bool in_budget = vm.run_rooted(cls, found);
     for (Subst& s : found) matches.push_back(PatternMatch{cls, std::move(s)});
     if (!in_budget) break;
   }
@@ -133,8 +177,32 @@ std::vector<Subst> match_class(const EGraph& eg, const Program& prog, Id class_i
                                const MatchLimits& limits) {
   VM vm = make_vm(eg, prog, limits);
   std::vector<Subst> out;
-  vm.run(class_id, out);
+  vm.run_rooted(class_id, out);
   return out;
+}
+
+std::vector<JointMatch> search_joint(const EGraph& eg, const Program& prog,
+                                     const MatchLimits& limits) {
+  VM vm = make_vm(eg, prog, limits);
+  vm.regs.assign(prog.num_regs, kInvalidId);
+  std::vector<JointMatch> out;
+  vm.run([&] {
+    JointMatch jm;
+    jm.roots.reserve(prog.root_regs.size());
+    for (Reg r : prog.root_regs) jm.roots.push_back(vm.regs[r]);
+    for (const auto& [var, reg] : prog.vars) jm.subst.bind(var, vm.regs[reg]);
+    out.push_back(std::move(jm));
+  });
+  return out;
+}
+
+std::vector<std::vector<PatternMatch>> search_all(
+    const EGraph& eg, const std::vector<const Program*>& progs, size_t threads,
+    const MatchLimits& limits) {
+  std::vector<std::vector<PatternMatch>> results(progs.size());
+  parallel_for(progs.size(), threads,
+               [&](size_t i) { results[i] = search(eg, *progs[i], limits); });
+  return results;
 }
 
 }  // namespace tensat::ematch

@@ -1,9 +1,10 @@
 // The register-based e-matching VM. Executes a compiled Program (program.h)
-// against an e-graph: kBind instructions are the backtracking points
-// (iterating the e-nodes of a class with the right operator), everything
-// else is a straight-line check. Searches dispatch through the e-graph's
-// op-index (EGraph::classes_with_op) so classes that cannot match the
-// pattern root are never visited.
+// against an e-graph: kBind and kScan instructions are the backtracking
+// points (iterating the e-nodes of a class with the right operator, resp.
+// the candidate root classes of a joint sub-pattern), everything else is a
+// straight-line check. Searches dispatch through the e-graph's op-index
+// (EGraph::classes_with_op) so classes that cannot match a pattern root are
+// never visited.
 //
 // Results are bit-for-bit interchangeable with the naive matcher in
 // rewrite/matcher.h: same substitutions, same multiplicities, variables
@@ -35,5 +36,33 @@ std::vector<PatternMatch> search(const EGraph& eg, const Program& prog,
 /// Matches of the compiled pattern against one specific e-class.
 std::vector<Subst> match_class(const EGraph& eg, const Program& prog, Id class_id,
                                const MatchLimits& limits = {});
+
+/// One match of a joint multi-pattern program: the e-class each sub-pattern
+/// root matched (in source order) plus the combined substitution. Exactly the
+/// compatible tuples the Cartesian-product join of the per-source match sets
+/// would produce (tests/joint_ematch_test.cpp proves this differentially).
+struct JointMatch {
+  std::vector<Id> roots;
+  Subst subst;
+};
+
+/// All matches of a joint program (compile_joint_pattern) in the e-graph.
+/// Candidate classes for each sub-pattern root come from the op-index; shared
+/// variables prune cross-pattern combinations during the search. The e-graph
+/// must be clean (rebuilt). `limits.max_steps` counts e-nodes tried by kBind
+/// plus root candidates tried by kScan, across all sub-patterns.
+std::vector<JointMatch> search_joint(const EGraph& eg, const Program& prog,
+                                     const MatchLimits& limits = {});
+
+/// Searches many programs against one read-only e-graph using up to `threads`
+/// workers (0 = hardware concurrency). results[i] always corresponds to
+/// progs[i] and is bit-identical to a serial ematch::search(eg, *progs[i]) —
+/// worker scheduling cannot reorder or change anything (each program's search
+/// is single-threaded and results merge by index), so any thread count
+/// produces the same output. The e-graph must be clean (rebuilt): on a clean
+/// e-graph every VM operation, union-find lookups included, is a pure read.
+std::vector<std::vector<PatternMatch>> search_all(
+    const EGraph& eg, const std::vector<const Program*>& progs, size_t threads,
+    const MatchLimits& limits = {});
 
 }  // namespace tensat::ematch

@@ -6,6 +6,7 @@
 #include "rewrite/matcher.h"
 #include "rewrite/multi.h"
 #include "support/check.h"
+#include "support/parallel.h"
 #include "support/timer.h"
 
 namespace tensat {
@@ -98,11 +99,16 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
 
   // Which rules consume each canonical pattern: a pattern whose every user
   // is inactive this iteration (banned, or multi-pattern past k_multi) need
-  // not be searched at all.
+  // not be searched at all. Under the joint plan, multi-pattern rules search
+  // through their own joint program instead, so they don't keep a canonical
+  // pattern alive — patterns only multi-pattern rules use are never searched
+  // separately.
   std::vector<std::vector<size_t>> pattern_users(plan.patterns.size());
-  for (size_t r = 0; r < rules.size(); ++r)
+  for (size_t r = 0; r < rules.size(); ++r) {
+    if (options.joint_multi && rules[r].is_multi()) continue;
     for (const SourceBinding& sb : plan.rule_sources[r])
       pattern_users[sb.pattern_index].push_back(r);
+  }
 
   eg.rebuild();
   for (int iter = 0; iter < options.k_max; ++iter) {
@@ -128,18 +134,53 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       dmap = std::make_unique<DescendantsMap>(eg);
 
     // SEARCH: all canonical patterns with at least one active consumer, once
-    // each (Algorithm 1 line 10), on the compiled e-matching VM.
+    // each (Algorithm 1 line 10), plus — under the joint plan — one joint
+    // search per active multi-pattern rule. All searches are read-only over
+    // the clean e-graph, so they fan out across the worker pool; results
+    // land in per-task slots and are identical for any thread count.
     std::vector<std::vector<PatternMatch>> matches(plan.patterns.size());
+    std::vector<std::vector<ematch::JointMatch>> joint_matches(rules.size());
+    struct SearchTask {
+      bool joint;
+      size_t index;                 // pattern index, or rule index if joint
+      ematch::MatchLimits limits;
+    };
+    std::vector<SearchTask> tasks;
     for (size_t p = 0; p < plan.patterns.size(); ++p) {
+      // A pattern with no users at all (under the joint plan: sources only
+      // multi-pattern rules consume) is covered elsewhere by design — it is
+      // not a "skipped" search.
+      if (pattern_users[p].empty()) continue;
       bool any_active = false;
       for (size_t r : pattern_users[p]) any_active = any_active || rule_active(r);
-      if (!any_active) {
+      if (any_active)
+        tasks.push_back(SearchTask{false, p, {}});
+      else
         ++stats.searches_skipped;
-        continue;
-      }
-      matches[p] = ematch::search(eg, plan.patterns[p].program);
-      stats.matches_found += matches[p].size();
     }
+    if (options.joint_multi) {
+      for (size_t r = 0; r < rules.size(); ++r) {
+        if (!rules[r].is_multi() || !rule_active(r)) continue;
+        // The apply step stops after budget+1 combined matches (the +1 is
+        // what trips the scheduler's ban), so the search needn't return more.
+        ematch::MatchLimits limits;
+        limits.max_matches = scheduler.match_limit(r) + 1;
+        tasks.push_back(SearchTask{true, r, limits});
+      }
+    }
+    parallel_for(tasks.size(), options.search_threads, [&](size_t t) {
+      const SearchTask& task = tasks[t];
+      if (task.joint)
+        joint_matches[task.index] =
+            ematch::search_joint(eg, plan.joint_programs[task.index], task.limits);
+      else
+        matches[task.index] = ematch::search(eg, plan.patterns[task.index].program);
+    });
+    // Joint matches are credited to the multi_* stats in the apply loop, the
+    // same place the Cartesian baseline counts its tuples, so the two modes
+    // stay comparable even when node/time limits truncate the apply phase.
+    for (const SearchTask& task : tasks)
+      if (!task.joint) stats.matches_found += matches[task.index].size();
 
     // APPLY per rule. Multi-pattern rules go first: they introduce the
     // merged operators the search is really after, and must not be starved
@@ -158,6 +199,35 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       const auto& sources = plan.rule_sources[r];
       const size_t budget = scheduler.match_limit(r);
       size_t applied_this_rule = 0;
+
+      // Joint plan: the search already produced the compatible combinations
+      // with shared variables bound once; just apply them.
+      if (options.joint_multi && rule.is_multi()) {
+        for (const ematch::JointMatch& jm : joint_matches[r]) {
+          // The joint search only ever examines compatible tuples, so the
+          // two counters advance together (the Cartesian baseline's combos
+          // additionally include the incompatible tuples it had to try).
+          ++stats.multi_combos_considered;
+          ++stats.multi_matches_found;
+          ++applied_this_rule;
+          // Budget blown: stop here; record_matches below imposes the ban.
+          if (applied_this_rule > budget) break;
+          Application app;
+          app.rule = &rule;
+          app.src_classes = jm.roots;
+          app.subst = jm.subst;
+          if (apply_one(eg, app, options.cycle_filter, dmap.get()))
+            ++stats.applications;
+          if (eg.num_enodes_total() >= options.node_limit) {
+            hit_node_limit = true;
+            break;
+          }
+          if (timer.seconds() > options.explore_time_limit_s) break;
+        }
+        if (scheduler.record_matches(r, static_cast<size_t>(iter), applied_this_rule))
+          ++stats.bans;
+        continue;
+      }
 
       // De-canonicalized match lists per source pattern (Algorithm 1 ln 12-15).
       std::vector<std::vector<PatternMatch>> per_source;
@@ -178,6 +248,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       while (!hit_node_limit) {
         Application app;
         app.rule = &rule;
+        if (rule.is_multi()) ++stats.multi_combos_considered;
         std::optional<Subst> combined = Subst{};
         for (size_t k = 0; k < per_source.size() && combined; ++k) {
           const PatternMatch& m = per_source[k][idx[k]];
@@ -187,6 +258,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         if (combined.has_value()) {  // COMPATIBLE
           app.subst = std::move(*combined);
           ++applied_this_rule;
+          if (rule.is_multi()) ++stats.multi_matches_found;
           // Budget blown: stop here; record_matches below imposes the ban.
           if (applied_this_rule > budget) break;
           if (apply_one(eg, app, options.cycle_filter, dmap.get()))

@@ -40,6 +40,20 @@ struct TensatOptions {
   /// bans only kick in on genuinely match-explosive rules, and banned rules
   /// always get a final chance before saturation is declared.
   ematch::BackoffOptions backoff{/*match_limit=*/100000, /*ban_length=*/5};
+  /// Multi-pattern rules: search all of a rule's sources as one joint VM
+  /// program (shared variables bind once; incompatible cross-pattern
+  /// candidates are pruned during the search) instead of joining the
+  /// per-source match sets with a post-hoc Cartesian product. Enumerates the
+  /// identical combined match set (tests/joint_ematch_test.cpp), though in a
+  /// different order — under a node/time limit the two modes may therefore
+  /// truncate at different applications. False selects the Cartesian
+  /// baseline kept for differential tests and the ematch_report benchmark.
+  bool joint_multi = true;
+  /// Worker threads for the per-iteration pattern searches (the VM is
+  /// read-only over the clean e-graph). 0 = one per hardware thread. Any
+  /// value yields identical results: each pattern's search is sequential
+  /// and results merge in plan order, so threading never reorders anything.
+  size_t search_threads = 1;
 };
 
 struct ExploreStats {
@@ -51,6 +65,15 @@ struct ExploreStats {
   size_t filtered{0};
   size_t matches_found{0};
   size_t applications{0};
+  /// Combined (full-rule) multi-pattern matches enumerated across all
+  /// iterations — the compatible tuples handed to the apply step.
+  size_t multi_matches_found{0};
+  /// Candidate source-match tuples the multi-pattern join examined. Under
+  /// the Cartesian baseline this is the full product of the per-source match
+  /// sets; under the joint plan incompatible prefixes are pruned inside the
+  /// VM, so it equals multi_matches_found. The gap measures the blow-up the
+  /// joint plan avoids.
+  size_t multi_combos_considered{0};
   /// Rule bans imposed by the backoff scheduler across all iterations.
   size_t bans{0};
   /// Pattern searches skipped because every rule using the pattern was

@@ -45,6 +45,7 @@ MultiPlan build_multi_plan(const std::vector<Rewrite>& rules) {
   MultiPlan plan;
   std::unordered_map<std::string, size_t> by_key;
   plan.rule_sources.resize(rules.size());
+  plan.joint_programs.resize(rules.size());
   for (size_t r = 0; r < rules.size(); ++r) {
     for (Id src_root : rules[r].src_roots) {
       SourceBinding binding;
@@ -55,6 +56,9 @@ MultiPlan build_multi_plan(const std::vector<Rewrite>& rules) {
       binding.pattern_index = it->second;
       plan.rule_sources[r].push_back(std::move(binding));
     }
+    if (rules[r].is_multi())
+      plan.joint_programs[r] =
+          ematch::compile_joint_pattern(rules[r].pat, rules[r].src_roots);
   }
   return plan;
 }
@@ -68,6 +72,39 @@ Subst decanonicalize(const Subst& subst,
     TENSAT_CHECK(out.bind(original, *bound), "decanonicalize: conflicting binding");
   }
   return out;
+}
+
+std::vector<ematch::JointMatch> cartesian_join(
+    const std::vector<std::vector<PatternMatch>>& per_source, size_t max_results,
+    size_t* combos_tried) {
+  std::vector<ematch::JointMatch> out;
+  if (combos_tried) *combos_tried = 0;
+  for (const std::vector<PatternMatch>& list : per_source)
+    if (list.empty()) return out;
+
+  std::vector<size_t> idx(per_source.size(), 0);
+  for (;;) {
+    if (combos_tried) ++*combos_tried;
+    ematch::JointMatch jm;
+    std::optional<Subst> combined = Subst{};
+    for (size_t k = 0; k < per_source.size() && combined; ++k) {
+      const PatternMatch& m = per_source[k][idx[k]];
+      jm.roots.push_back(m.root);
+      combined = Subst::merged(*combined, m.subst);
+    }
+    if (combined.has_value()) {
+      jm.subst = std::move(*combined);
+      out.push_back(std::move(jm));
+      if (max_results != 0 && out.size() >= max_results) return out;
+    }
+    size_t k = 0;
+    while (k < idx.size()) {
+      if (++idx[k] < per_source[k].size()) break;
+      idx[k] = 0;
+      ++k;
+    }
+    if (k == idx.size()) return out;
+  }
 }
 
 }  // namespace tensat

@@ -4,14 +4,25 @@
 // multi-pattern rule by renaming its variables in traversal order; patterns
 // that differ only by variable names collapse to one canonical pattern. Each
 // exploration iteration then runs the single-pattern search once per
-// canonical pattern, and each rule combines (Cartesian product) the
-// de-canonicalized matches of its source patterns, keeping the combinations
-// that agree on shared variables.
+// canonical pattern. For a multi-pattern rule the per-source match sets are
+// combined into full-rule matches in one of two equivalent ways:
+//
+//  - the joint plan (default): the rule's sources compile into a single VM
+//    program (ematch::compile_joint_pattern) that binds shared variables
+//    once and prunes incompatible cross-pattern candidates during the
+//    search, skipping the canonical-pattern search for multi-only patterns
+//    entirely;
+//  - the Cartesian-product join (cartesian_join below, paper Algorithm 1
+//    lines 16-20): combine the de-canonicalized matches of the rule's
+//    source patterns post hoc, keeping combinations that agree on shared
+//    variables. Kept as the differential baseline the joint plan is tested
+//    and benchmarked against (TensatOptions::joint_multi = false).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "ematch/machine.h"
 #include "ematch/program.h"
 #include "rewrite/matcher.h"
 #include "rewrite/rewrite.h"
@@ -40,6 +51,12 @@ struct SourceBinding {
 struct MultiPlan {
   std::vector<CanonicalPattern> patterns;
   std::vector<std::vector<SourceBinding>> rule_sources;
+  /// Per rule: the joint search program over the rule's own source patterns
+  /// (original variable names, one kScan-driven root register per source;
+  /// see ematch::compile_joint_pattern). Only multi-pattern rules get one —
+  /// is_joint() is false for the rest, which search through the shared
+  /// canonical patterns above.
+  std::vector<ematch::Program> joint_programs;
 };
 
 /// Canonicalizes the pattern rooted at `root` of `pat`: variables are renamed
@@ -56,5 +73,16 @@ MultiPlan build_multi_plan(const std::vector<Rewrite>& rules);
 /// variable names.
 Subst decanonicalize(const Subst& subst,
                      const std::vector<std::pair<Symbol, Symbol>>& rename);
+
+/// The Cartesian-product join baseline: every combination of one match per
+/// source list whose substitutions agree on the variables they share, as
+/// (roots, merged substitution) tuples. Enumeration order matches the
+/// historical exploration loop (source 0 varies fastest). `max_results` 0 =
+/// unlimited; `combos_tried`, when given, receives the number of tuples
+/// examined including incompatible ones — the joint plan's saving is exactly
+/// the gap between this and the result size.
+std::vector<ematch::JointMatch> cartesian_join(
+    const std::vector<std::vector<PatternMatch>>& per_source,
+    size_t max_results = 0, size_t* combos_tried = nullptr);
 
 }  // namespace tensat

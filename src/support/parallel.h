@@ -1,0 +1,64 @@
+// Minimal fork-join fan-out for read-only work: runs fn(0..n-1) across a
+// small worker pool fed by an atomic index counter. Built for the pattern
+// searches of the exploration loop (the e-matching VM is read-only over a
+// clean e-graph), where determinism comes from the caller writing results
+// into per-index slots and merging in index order — worker scheduling then
+// cannot influence anything observable.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tensat {
+
+/// Resolves a thread-count hint: 0 means "use the hardware concurrency"
+/// (never less than 1 even when the runtime cannot report it).
+inline size_t resolve_threads(size_t hint) {
+  if (hint != 0) return hint;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+/// Runs fn(i) for every i in [0, n) using up to `threads` workers (0 = one
+/// per hardware thread; the calling thread always participates). Items are
+/// claimed from an atomic counter, so the item-to-worker assignment is
+/// nondeterministic — fn must only write state owned by its own index. The
+/// first exception any fn throws is rethrown on the calling thread after all
+/// workers have stopped; remaining unclaimed items are skipped.
+template <typename Fn>
+void parallel_for(size_t n, size_t threads, Fn&& fn) {
+  threads = std::min(resolve_threads(threads), n);
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace tensat

@@ -4,8 +4,11 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "support/check.h"
 #include "support/hash.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "support/symbol.h"
 #include "support/timer.h"
@@ -109,6 +112,37 @@ TEST(Hash, OrderSensitive) {
   hash_combine(b, 2);
   hash_combine(b, 1);
   EXPECT_NE(a, b);
+}
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{3}, size_t{8}, size_t{0}}) {
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(kN, threads, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelFor, HandlesEmptyAndMoreThreadsThanItems) {
+  parallel_for(0, 8, [](size_t) { FAIL() << "no items to run"; });
+  std::vector<std::atomic<int>> hits(2);
+  parallel_for(2, 16, [&](size_t i) { hits[i].fetch_add(1); });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(ParallelFor, RethrowsWorkerException) {
+  EXPECT_THROW(
+      parallel_for(64, 4,
+                   [](size_t i) {
+                     if (i == 13) throw Error("boom");
+                   }),
+      Error);
+}
+
+TEST(ParallelFor, ResolveThreadsNeverZero) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(5), 5u);
 }
 
 TEST(Timer, MeasuresElapsed) {
