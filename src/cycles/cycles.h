@@ -22,7 +22,9 @@
 namespace tensat {
 
 /// Transitive descendants of every e-class, as a dense bitset matrix.
-/// Snapshot semantics: reflects the e-graph at construction time.
+/// Snapshot semantics: reflects the e-graph at construction time. Immutable
+/// after construction, so reaches() is safe for concurrent readers — the
+/// staged apply pipeline shares one map across all stage-1 planning workers.
 class DescendantsMap {
  public:
   explicit DescendantsMap(const EGraph& eg);

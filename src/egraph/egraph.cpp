@@ -11,6 +11,13 @@ TNode EGraph::canonicalize(TNode node) const {
   return node;
 }
 
+std::optional<Id> EGraph::lookup(TNode node) const {
+  node = canonicalize(node);
+  auto it = hashcons_.find(node);
+  if (it == hashcons_.end()) return std::nullopt;
+  return find(it->second);
+}
+
 std::optional<Id> EGraph::try_add(TNode node) {
   node = canonicalize(node);
   auto it = hashcons_.find(node);
@@ -174,16 +181,25 @@ std::vector<Id> EGraph::canonical_classes() const {
   return out;
 }
 
-std::vector<Id> EGraph::classes_with_op(Op op) const {
-  std::vector<Id> out = op_index_[static_cast<size_t>(op)];
+const std::vector<Id>& EGraph::classes_with_op(Op op) const {
+  const std::vector<Id>& bucket = op_index_[static_cast<size_t>(op)];
   // On a clean e-graph the bucket is already canonical, sorted, and unique:
   // rebuild() compacted it, and try_add() only appends fresh (strictly
   // increasing, canonical) ids. Only un-rebuilt merges can make it stale.
-  if (pending_.empty()) return out;
-  for (Id& id : out) id = find(id);
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  if (pending_.empty()) return bucket;
+  // Dirty path: canonicalize once per (op, version) into the cache so
+  // repeated queries between state changes are allocation-free. version_
+  // bumps on every add/merge/filter, so staleness is impossible.
+  OpCacheEntry& cache = op_cache_[static_cast<size_t>(op)];
+  if (cache.version != version_) {
+    cache.ids = bucket;
+    for (Id& id : cache.ids) id = find(id);
+    std::sort(cache.ids.begin(), cache.ids.end());
+    cache.ids.erase(std::unique(cache.ids.begin(), cache.ids.end()),
+                    cache.ids.end());
+    cache.version = version_;
+  }
+  return cache.ids;
 }
 
 size_t EGraph::num_classes() const {
@@ -201,6 +217,66 @@ size_t EGraph::num_enodes() const {
       if (!e.filtered) ++n;
   }
   return n;
+}
+
+std::optional<Id> NodeBuffer::stage(TNode node) {
+  // Canonicalize the real children against the (clean) snapshot; staged
+  // children are already canonical by construction.
+  bool all_real = true;
+  for (Id& c : node.children) {
+    if (is_staged(c)) {
+      all_real = false;
+    } else {
+      c = eg_->find(c);
+    }
+  }
+  // A node whose children all exist can itself already exist in the e-graph.
+  if (all_real) {
+    if (auto existing = eg_->lookup(node)) return existing;
+  }
+  auto memo = memo_.find(node);
+  if (memo != memo_.end()) return memo->second;
+
+  // E-class analysis over mixed real/staged children: same shape-check gate
+  // as EGraph::try_add, evaluated against the planned data.
+  inputs_scratch_.clear();
+  inputs_scratch_.reserve(node.children.size());
+  for (Id c : node.children) inputs_scratch_.push_back(data(c));
+  auto inferred = infer(node, inputs_scratch_);
+  if (!inferred.has_value()) return std::nullopt;  // shape check failed
+
+  const Id id = id_of(entries_.size());
+  memo_.emplace(node, id);
+  entries_.push_back(Entry{std::move(node), std::move(*inferred), kInvalidId, false});
+  return id;
+}
+
+const ValueInfo& NodeBuffer::data(Id id) const {
+  if (!is_staged(id)) return eg_->data(id);
+  return entries_[index_of(id)].data;
+}
+
+std::optional<Id> NodeBuffer::commit(EGraph& eg, Id id) {
+  if (!is_staged(id)) return eg.find(id);
+  Entry& entry = entries_[index_of(id)];
+  if (entry.committed != kInvalidId) return eg.find(entry.committed);
+  if (entry.commit_failed) return std::nullopt;
+  TNode node = entry.node;  // entry.node stays in staged form (re-commit safe)
+  for (Id& c : node.children) {
+    auto real = commit(eg, c);
+    if (!real.has_value()) {
+      entry.commit_failed = true;
+      return std::nullopt;
+    }
+    c = *real;
+  }
+  auto added = eg.try_add(std::move(node));
+  if (!added.has_value()) {
+    entry.commit_failed = true;
+    return std::nullopt;
+  }
+  entry.committed = *added;
+  return added;
 }
 
 void EGraph::set_filtered(Id class_id, size_t index) {

@@ -40,7 +40,9 @@ struct EClass {
 
 class EGraph {
  public:
-  EGraph() : op_index_(static_cast<size_t>(Op::kOpCount)) {}
+  EGraph()
+      : op_index_(static_cast<size_t>(Op::kOpCount)),
+        op_cache_(static_cast<size_t>(Op::kOpCount)) {}
 
   /// Adds an e-node (children are e-class ids; they get canonicalized).
   /// Returns nullopt if the analysis rejects it (shape check failure).
@@ -63,6 +65,13 @@ class EGraph {
   /// Canonicalizes an e-node's children.
   [[nodiscard]] TNode canonicalize(TNode node) const;
 
+  /// Const hash-cons probe: the canonical e-class already containing `node`
+  /// (children are e-class ids; they get canonicalized), or nullopt if the
+  /// node is not in the e-graph. Never mutates. On a clean (rebuilt) e-graph
+  /// this is a pure read, safe for concurrent callers — the staging half of
+  /// the apply pipeline's plan phase (see NodeBuffer).
+  [[nodiscard]] std::optional<Id> lookup(TNode node) const;
+
   [[nodiscard]] const EClass& eclass(Id id) const { return classes_[find(id)]; }
   [[nodiscard]] const ValueInfo& data(Id id) const { return classes_[find(id)].data; }
 
@@ -75,7 +84,14 @@ class EGraph {
   /// may conservatively include classes whose only `op` nodes are filtered
   /// (harmless to the matcher: those classes simply yield no matches). This
   /// is the root-operator index the e-matching VM dispatches through.
-  [[nodiscard]] std::vector<Id> classes_with_op(Op op) const;
+  ///
+  /// On a clean (rebuilt) e-graph the per-op bucket is served directly —
+  /// allocation-free and safe for concurrent readers (the parallel search
+  /// path). With un-rebuilt merges pending, the canonicalized bucket is
+  /// computed once into a version-keyed cache and reused until the next
+  /// state change; that dirty path is single-threaded only. The reference
+  /// stays valid until the next non-const e-graph operation.
+  [[nodiscard]] const std::vector<Id>& classes_with_op(Op op) const;
 
   /// Number of canonical e-classes.
   [[nodiscard]] size_t num_classes() const;
@@ -101,10 +117,18 @@ class EGraph {
   void repair(Id id);
   static void join_data(ValueInfo& into, const ValueInfo& from);
 
+  /// classes_with_op's dirty-path memo: the canonicalized bucket for one op,
+  /// valid while the e-graph stays at `version`.
+  struct OpCacheEntry {
+    uint64_t version{UINT64_MAX};
+    std::vector<Id> ids;
+  };
+
   UnionFind uf_;
   // op -> e-class ids with at least one such e-node; ids may be stale
   // (non-canonical) or duplicated between rebuilds, never missing.
   std::vector<std::vector<Id>> op_index_;
+  mutable std::vector<OpCacheEntry> op_cache_;
   // Deque: eclass()/data() references must survive later try_add() appends.
   std::deque<EClass> classes_;
   std::unordered_map<TNode, Id, TNodeHash> hashcons_;
@@ -113,6 +137,69 @@ class EGraph {
   uint32_t next_stamp_{0};
   size_t num_filtered_{0};
   Id root_{kInvalidId};
+};
+
+/// A staging arena for would-be e-node additions against a *const* e-graph:
+/// the plan half of the apply pipeline's plan/commit split. stage() shape-
+/// checks and hash-conses candidate nodes without touching the e-graph;
+/// nodes not already present get negative placeholder ids (is_staged) that
+/// later staged nodes may use as children. commit() then replays a staged
+/// node (children first) into the real e-graph through the ordinary try_add
+/// path, so duplicates staged by concurrent planners collapse through the
+/// real hash-cons.
+///
+/// The snapshot e-graph must be clean (rebuilt) while staging: stage() then
+/// only performs pure reads, so any number of NodeBuffers can plan against
+/// the same e-graph from different threads.
+class NodeBuffer {
+ public:
+  explicit NodeBuffer(const EGraph& eg) : eg_(&eg) {}
+
+  /// Plans adding `node`. Children may be canonical e-class ids or staged
+  /// ids from this buffer. Returns the existing e-class id if the e-graph
+  /// (or this buffer) already has the node, a fresh staged id otherwise, or
+  /// nullopt if the analysis rejects it (shape check failure).
+  std::optional<Id> stage(TNode node);
+
+  /// Analysis data of a real e-class or a staged node.
+  [[nodiscard]] const ValueInfo& data(Id id) const;
+
+  /// True for placeholder ids handed out by stage(). Staged ids start at -2
+  /// so they never collide with kInvalidId, which planning scratch buffers
+  /// use as their "unset" sentinel.
+  [[nodiscard]] static constexpr bool is_staged(Id id) { return id < kInvalidId; }
+
+  /// Number of staged (not already present) nodes.
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+
+  /// Commits the node behind `id` into `eg` (the same e-graph this buffer
+  /// was planned against, possibly mutated since by earlier commits),
+  /// children first, memoizing per entry. Real ids pass through find().
+  /// Returns nullopt if a shape check fails at commit time — possible when
+  /// intervening merges coarsened an analysis value the plan relied on.
+  std::optional<Id> commit(EGraph& eg, Id id);
+
+  /// The snapshot this buffer stages against.
+  [[nodiscard]] const EGraph& egraph() const { return *eg_; }
+
+ private:
+  struct Entry {
+    TNode node;  // children: canonical class ids or staged ids
+    ValueInfo data;
+    Id committed{kInvalidId};
+    bool commit_failed{false};
+  };
+  [[nodiscard]] static constexpr size_t index_of(Id id) {
+    return static_cast<size_t>(-(id + 2));
+  }
+  [[nodiscard]] static constexpr Id id_of(size_t index) {
+    return -static_cast<Id>(index) - 2;
+  }
+
+  const EGraph* eg_;
+  std::vector<Entry> entries_;
+  std::unordered_map<TNode, Id, TNodeHash> memo_;  // staged-form node -> id
+  std::vector<ValueInfo> inputs_scratch_;          // stage()'s infer inputs
 };
 
 }  // namespace tensat

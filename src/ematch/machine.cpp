@@ -160,9 +160,14 @@ std::vector<PatternMatch> search(const EGraph& eg, const Program& prog,
                                  const MatchLimits& limits) {
   VM vm = make_vm(eg, prog, limits);
   std::vector<PatternMatch> matches;
-  const std::vector<Id> candidates = op_is_leaf(prog.root_op)
-                                         ? eg.canonical_classes()
-                                         : eg.classes_with_op(prog.root_op);
+  // Leaf-rooted patterns scan every class; operator roots borrow the op-index
+  // bucket directly (classes_with_op returns a reference on a clean e-graph,
+  // so the hot path allocates nothing).
+  std::vector<Id> leaf_candidates;
+  if (op_is_leaf(prog.root_op)) leaf_candidates = eg.canonical_classes();
+  const std::vector<Id>& candidates = op_is_leaf(prog.root_op)
+                                          ? leaf_candidates
+                                          : eg.classes_with_op(prog.root_op);
   std::vector<Subst> found;
   for (Id cls : candidates) {
     found.clear();

@@ -1,6 +1,7 @@
 #include "optimizer/optimizer.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "cycles/cycles.h"
 #include "rewrite/matcher.h"
@@ -20,13 +21,14 @@ struct Application {
   Subst subst;
 };
 
-/// Applies one substitution with the configured cycle handling. Returns true
-/// if the e-graph changed.
-bool apply_one(EGraph& eg, const Application& app, CycleFilterMode mode,
-               const DescendantsMap* dmap) {
+/// The read-only prefix shared by the direct path and stage-1 planning: the
+/// rule condition on the matched variables' analysis data, then the
+/// efficient pre-filter (Algorithm 2, lines 3-9) — skip the substitution if
+/// a matched class is a descendant of (or is) a class we would merge into.
+/// Pure reads; on a clean e-graph, safe for concurrent callers.
+bool passes_read_only_checks(const EGraph& eg, const Application& app,
+                             CycleFilterMode mode, const DescendantsMap* dmap) {
   const Rewrite& rule = *app.rule;
-
-  // Rule condition on the matched variables' analysis data.
   if (rule.cond) {
     auto lookup = [&](Symbol var) -> const ValueInfo& {
       auto bound = app.subst.get(var);
@@ -35,9 +37,6 @@ bool apply_one(EGraph& eg, const Application& app, CycleFilterMode mode,
     };
     if (!rule.check_cond(lookup)) return false;
   }
-
-  // Efficient pre-filter (Algorithm 2, lines 3-9): skip the substitution if
-  // a matched class is a descendant of (or is) a class we would merge into.
   if (mode == CycleFilterMode::kEfficient && dmap != nullptr) {
     for (Id src : app.src_classes) {
       const Id a = eg.find(src);
@@ -47,6 +46,23 @@ bool apply_one(EGraph& eg, const Application& app, CycleFilterMode mode,
       }
     }
   }
+  return true;
+}
+
+/// The merge is only sound if the target computes a value of the same kind
+/// and shape as its matched source class. Deliberately a subset of
+/// ValueInfo::operator== (hist/num/str/weight_only are joinable); the direct
+/// path, stage-1 planning, and the stage-2 re-check must all agree on it.
+bool merge_sound(const ValueInfo& a, const ValueInfo& b) {
+  return a.kind == b.kind && a.shape == b.shape && a.shape2 == b.shape2;
+}
+
+/// Applies one substitution with the configured cycle handling. Returns true
+/// if the e-graph changed.
+bool apply_one(EGraph& eg, const Application& app, CycleFilterMode mode,
+               const DescendantsMap* dmap) {
+  const Rewrite& rule = *app.rule;
+  if (!passes_read_only_checks(eg, app, mode, dmap)) return false;
 
   // Instantiate every target pattern (monotone adds; cannot create cycles).
   std::vector<Id> targets;
@@ -56,13 +72,8 @@ bool apply_one(EGraph& eg, const Application& app, CycleFilterMode mode,
     if (!target.has_value()) return false;  // shape check failed
     targets.push_back(*target);
   }
-  // The merge is only sound if each target computes a value of the same
-  // shape as its matched source class.
-  for (size_t k = 0; k < targets.size(); ++k) {
-    const ValueInfo& a = eg.data(app.src_classes[k]);
-    const ValueInfo& b = eg.data(targets[k]);
-    if (a.kind != b.kind || a.shape != b.shape || a.shape2 != b.shape2) return false;
-  }
+  for (size_t k = 0; k < targets.size(); ++k)
+    if (!merge_sound(eg.data(app.src_classes[k]), eg.data(targets[k]))) return false;
 
   bool changed = false;
   for (size_t k = 0; k < targets.size(); ++k) {
@@ -74,6 +85,90 @@ bool apply_one(EGraph& eg, const Application& app, CycleFilterMode mode,
       // nodes stay in the e-graph unmerged, which is harmless.
       continue;
     }
+    changed |= eg.merge(src, dst);
+  }
+  return changed;
+}
+
+/// Stage 1 plans applications in fixed index chunks; each chunk owns one
+/// staging arena and scratch, so workers share nothing mutable, duplicate
+/// targets within a chunk are planned (and shape-inferred) once, and the
+/// app -> chunk partition is a pure function of the application index —
+/// worker count and scheduling cannot influence any plan.
+constexpr size_t kPlanChunk = 128;
+
+struct PlanChunk {
+  explicit PlanChunk(const EGraph& eg) : buf(eg) {}
+  NodeBuffer buf;
+  std::vector<Id> targets;  // concatenated target lists of the chunk's apps
+  std::vector<Id> memo;     // plan_instantiate scratch, reused across apps
+};
+
+/// Stage-1 result for one pending application: its slice of the chunk's
+/// target arena and whether it survived its read-only checks.
+struct ApplyPlan {
+  uint32_t targets_first{0};
+  uint32_t targets_count{0};
+  bool viable{false};
+};
+
+/// Stage 1 of the apply pipeline (parallel, read-only): evaluates the rule
+/// condition, the efficient-cycle pre-filter, and plans the target
+/// instantiation against the clean e-graph snapshot. Mirrors apply_one up to
+/// (but excluding) the merges; writes only into `plan` and `chunk`.
+void plan_application(const EGraph& eg, const Application& app, ApplyPlan& plan,
+                      PlanChunk& chunk, CycleFilterMode mode,
+                      const DescendantsMap* dmap) {
+  const Rewrite& rule = *app.rule;
+  if (!passes_read_only_checks(eg, app, mode, dmap)) return;
+
+  plan.targets_first = static_cast<uint32_t>(chunk.targets.size());
+  for (Id dst_root : rule.dst_roots) {
+    auto target =
+        plan_instantiate(chunk.buf, rule.pat, dst_root, app.subst, chunk.memo);
+    if (!target.has_value()) {  // shape check failed
+      chunk.targets.resize(plan.targets_first);
+      return;
+    }
+    chunk.targets.push_back(*target);
+  }
+  for (size_t k = 0; k < rule.dst_roots.size(); ++k) {
+    if (!merge_sound(eg.data(app.src_classes[k]),
+                     chunk.buf.data(chunk.targets[plan.targets_first + k]))) {
+      chunk.targets.resize(plan.targets_first);
+      return;
+    }
+  }
+  plan.targets_count = static_cast<uint32_t>(rule.dst_roots.size());
+  plan.viable = true;
+}
+
+/// Stage 2 of the apply pipeline (serial, plan order): commits a viable
+/// plan's staged nodes through the real hash-cons — duplicates planned by
+/// other applications collapse here — and performs the merges. Returns true
+/// if the e-graph changed. `committed` is caller-owned scratch.
+bool commit_application(EGraph& eg, const Application& app, const ApplyPlan& plan,
+                        PlanChunk& chunk, CycleFilterMode mode,
+                        std::vector<Id>& committed) {
+  committed.clear();
+  for (uint32_t k = 0; k < plan.targets_count; ++k) {
+    auto id = chunk.buf.commit(eg, chunk.targets[plan.targets_first + k]);
+    if (!id.has_value()) return false;  // commit-time shape check failed
+    committed.push_back(*id);
+  }
+  // Re-verify merge soundness on the live analysis data: commits earlier in
+  // the batch can have joined analysis values (e.g. cleared a concat
+  // history) since the plan compared against the snapshot.
+  for (size_t k = 0; k < committed.size(); ++k)
+    if (!merge_sound(eg.data(app.src_classes[k]), eg.data(committed[k])))
+      return false;
+  bool changed = false;
+  for (size_t k = 0; k < committed.size(); ++k) {
+    const Id src = eg.find(app.src_classes[k]);
+    const Id dst = eg.find(committed[k]);
+    if (src == dst) continue;
+    if (mode == CycleFilterMode::kVanilla && merge_would_create_cycle(eg, src, dst))
+      continue;
     changed |= eg.merge(src, dst);
   }
   return changed;
@@ -129,9 +224,14 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
     };
 
     // The descendants map is rebuilt once per iteration (Algorithm 2 line 3).
+    // It is immutable after construction, so stage-1 workers share it
+    // read-only (counted as apply time: it exists solely for the pre-filter).
     std::unique_ptr<DescendantsMap> dmap;
-    if (options.cycle_filter == CycleFilterMode::kEfficient)
+    if (options.cycle_filter == CycleFilterMode::kEfficient) {
+      Timer dmap_timer;
       dmap = std::make_unique<DescendantsMap>(eg);
+      stats.apply_seconds += dmap_timer.seconds();
+    }
 
     // SEARCH: all canonical patterns with at least one active consumer, once
     // each (Algorithm 1 line 10), plus — under the joint plan — one joint
@@ -168,6 +268,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         tasks.push_back(SearchTask{true, r, limits});
       }
     }
+    Timer search_timer;
     parallel_for(tasks.size(), options.search_threads, [&](size_t t) {
       const SearchTask& task = tasks[t];
       if (task.joint)
@@ -176,24 +277,37 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       else
         matches[task.index] = ematch::search(eg, plan.patterns[task.index].program);
     });
+    stats.search_seconds += search_timer.seconds();
     // Joint matches are credited to the multi_* stats in the apply loop, the
     // same place the Cartesian baseline counts its tuples, so the two modes
     // stay comparable even when node/time limits truncate the apply phase.
     for (const SearchTask& task : tasks)
       if (!task.joint) stats.matches_found += matches[task.index].size();
 
-    // APPLY per rule. Multi-pattern rules go first: they introduce the
+    // APPLY. The phase is a pipeline (mirroring egg's deferred-invariant
+    // design): COLLECT enumerates the pending applications per rule, stage 1
+    // evaluates every application read-only (fans out over apply_threads),
+    // stage 2 commits nodes and merges serially in plan order — the
+    // determinism anchor — and stage 3 is the single rebuild below.
+    //
+    // COLLECT walks rules with multi-pattern rules first: they introduce the
     // merged operators the search is really after, and must not be starved
-    // of node budget by the (cheap, plentiful) algebraic rules.
+    // of node budget by the (cheap, plentiful) algebraic rules. Budgets and
+    // bans depend only on the match sets, never on apply outcomes, so
+    // collection needs no e-graph access at all.
+    Timer apply_timer;
     std::vector<size_t> rule_order;
     for (size_t r = 0; r < rules.size(); ++r)
       if (rules[r].is_multi()) rule_order.push_back(r);
     for (size_t r = 0; r < rules.size(); ++r)
       if (!rules[r].is_multi()) rule_order.push_back(r);
 
-    bool hit_node_limit = false;
+    std::vector<Application> apps;
     for (size_t r : rule_order) {
-      if (hit_node_limit) break;
+      // Enumeration of a huge match product can itself be slow; a coarse
+      // per-rule check keeps collect bounded by the time limit (stage 2
+      // notices the blown limit and records the stop reason).
+      if (timer.seconds() > options.explore_time_limit_s) break;
       const Rewrite& rule = rules[r];
       if (!rule_active(r)) continue;
       const auto& sources = plan.rule_sources[r];
@@ -201,7 +315,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       size_t applied_this_rule = 0;
 
       // Joint plan: the search already produced the compatible combinations
-      // with shared variables bound once; just apply them.
+      // with shared variables bound once; just queue them.
       if (options.joint_multi && rule.is_multi()) {
         for (const ematch::JointMatch& jm : joint_matches[r]) {
           // The joint search only ever examines compatible tuples, so the
@@ -212,17 +326,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
           ++applied_this_rule;
           // Budget blown: stop here; record_matches below imposes the ban.
           if (applied_this_rule > budget) break;
-          Application app;
-          app.rule = &rule;
-          app.src_classes = jm.roots;
-          app.subst = jm.subst;
-          if (apply_one(eg, app, options.cycle_filter, dmap.get()))
-            ++stats.applications;
-          if (eg.num_enodes_total() >= options.node_limit) {
-            hit_node_limit = true;
-            break;
-          }
-          if (timer.seconds() > options.explore_time_limit_s) break;
+          apps.push_back(Application{&rule, jm.roots, jm.subst});
         }
         if (scheduler.record_matches(r, static_cast<size_t>(iter), applied_this_rule))
           ++stats.bans;
@@ -245,7 +349,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
 
       // Cartesian product with the compatibility check (Algorithm 1 ln 16-20).
       std::vector<size_t> idx(per_source.size(), 0);
-      while (!hit_node_limit) {
+      for (;;) {
         Application app;
         app.rule = &rule;
         if (rule.is_multi()) ++stats.multi_combos_considered;
@@ -261,10 +365,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
           if (rule.is_multi()) ++stats.multi_matches_found;
           // Budget blown: stop here; record_matches below imposes the ban.
           if (applied_this_rule > budget) break;
-          if (apply_one(eg, app, options.cycle_filter, dmap.get()))
-            ++stats.applications;
-          if (eg.num_enodes_total() >= options.node_limit) hit_node_limit = true;
-          if (timer.seconds() > options.explore_time_limit_s) break;
+          apps.push_back(std::move(app));
         }
         size_t k = 0;
         while (k < idx.size()) {
@@ -278,6 +379,80 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         ++stats.bans;
     }
 
+    bool hit_node_limit = false;
+    bool hit_time_limit = false;
+    if (options.staged_apply) {
+      // STAGE 1 (parallel, read-only): chunks of applications plan against
+      // the clean e-graph; workers share only the e-graph and the
+      // descendants map. Which worker plans which chunk is scheduling-
+      // dependent; the chunks and their plans are not.
+      const size_t num_chunks = (apps.size() + kPlanChunk - 1) / kPlanChunk;
+      std::vector<PlanChunk> chunks;
+      chunks.reserve(num_chunks);
+      for (size_t c = 0; c < num_chunks; ++c) chunks.emplace_back(eg);
+      std::vector<ApplyPlan> plans(apps.size());
+      // Rule conditions are arbitrary user callbacks, so planning itself can
+      // blow the time limit: every worker re-checks it per application and
+      // the abort flag stops the rest of the pool. Un-planned applications
+      // simply stay non-viable — stage 2 sees the blown limit immediately
+      // and stops the phase, matching the direct path's per-application
+      // enforcement. (Node limits need no stage-1 check: planning never
+      // grows the e-graph.)
+      std::atomic<bool> plan_timed_out{false};
+      parallel_for(num_chunks, options.apply_threads, [&](size_t c) {
+        const size_t begin = c * kPlanChunk;
+        const size_t end = std::min(begin + kPlanChunk, apps.size());
+        for (size_t i = begin; i < end; ++i) {
+          if (plan_timed_out.load(std::memory_order_relaxed)) return;
+          if (timer.seconds() > options.explore_time_limit_s) {
+            plan_timed_out.store(true, std::memory_order_relaxed);
+            return;
+          }
+          plan_application(eg, apps[i], plans[i], chunks[c], options.cycle_filter,
+                           dmap.get());
+        }
+      });
+
+      // STAGE 2 (serial, fast): commit in plan order. Node and time limits
+      // are enforced between applications exactly as the direct path does;
+      // exceeding the time limit stops the whole apply phase (the stop
+      // reason is recorded after the rebuild below).
+      std::vector<Id> committed;
+      for (size_t i = 0; i < apps.size(); ++i) {
+        if (eg.num_enodes_total() >= options.node_limit) {
+          hit_node_limit = true;
+          break;
+        }
+        if (timer.seconds() > options.explore_time_limit_s) {
+          hit_time_limit = true;
+          break;
+        }
+        if (!plans[i].viable) continue;
+        if (commit_application(eg, apps[i], plans[i], chunks[i / kPlanChunk],
+                               options.cycle_filter, committed))
+          ++stats.applications;
+      }
+    } else {
+      // Legacy direct path: condition checks, pre-filters, and instantiation
+      // run against the live (mid-mutation) e-graph, one application at a
+      // time, in the same plan order the staged pipeline commits in.
+      for (const Application& app : apps) {
+        if (eg.num_enodes_total() >= options.node_limit) {
+          hit_node_limit = true;
+          break;
+        }
+        if (timer.seconds() > options.explore_time_limit_s) {
+          hit_time_limit = true;
+          break;
+        }
+        if (apply_one(eg, app, options.cycle_filter, dmap.get()))
+          ++stats.applications;
+      }
+    }
+    stats.apply_seconds += apply_timer.seconds();
+
+    // STAGE 3: restore congruence, then filter cycles.
+    Timer rebuild_timer;
     eg.rebuild();
     // Post-processing (Algorithm 2 lines 10-18): filter remaining cycles.
     if (options.cycle_filter == CycleFilterMode::kEfficient ||
@@ -287,9 +462,14 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       // into cycles; sweep them too so the invariant holds for both modes.
       filter_cycles(eg);
     }
+    stats.rebuild_seconds += rebuild_timer.seconds();
 
     if (hit_node_limit) {
       stats.stop = StopReason::kNodeLimit;
+      break;
+    }
+    if (hit_time_limit) {
+      stats.stop = StopReason::kTimeLimit;
       break;
     }
     if (eg.version() == version_before) {

@@ -54,6 +54,34 @@ struct TensatOptions {
   /// value yields identical results: each pattern's search is sequential
   /// and results merge in plan order, so threading never reorders anything.
   size_t search_threads = 1;
+  /// Worker threads for stage 1 of the staged apply pipeline: per-pending-
+  /// application condition checks, cycle pre-filters, and target planning,
+  /// all read-only against the clean e-graph. 0 (default) = one per hardware
+  /// thread. Any value yields a bit-identical e-graph: plans are independent
+  /// and partitioned into index-based chunks, and the stage-2 commit replays
+  /// them serially in plan order, which fixes the node insertion and merge
+  /// order regardless of worker scheduling. Iterations with fewer pending
+  /// applications than one chunk never spawn workers at all.
+  size_t apply_threads = 0;
+  /// True (default) routes the apply phase through the three-stage pipeline
+  /// (parallel plan, serial batched commit, single rebuild). False keeps the
+  /// legacy direct path — condition check, cycle pre-filter, and instantiate
+  /// interleaved with merges per application — as the differential baseline
+  /// (tests/apply_pipeline_test.cpp, bench_ematch_report's apply section).
+  /// The two paths agree on iterations, stop reason, filtered nodes, and
+  /// extraction; they differ in two benign ways. An instantiation that fails
+  /// its shape check during planning (stage 1) leaves no partial nodes — the
+  /// plan is dropped whole, where the direct path adds bottom-up and strands
+  /// whatever preceded the failing node — so the staged e-graph is in
+  /// practice never larger, and the direct path's stranded junk is
+  /// matchable, which lets its application count drift upward over
+  /// iterations. (A shape check can also fail at commit time, after
+  /// intervening merges coarsened an analysis value; that rare case strands
+  /// the target's already-committed descendants just like the direct path.)
+  /// And plans observe the iteration-start snapshot where the direct path
+  /// observes earlier in-iteration merges — relevant only to analysis joins
+  /// mid-iteration.
+  bool staged_apply = true;
 };
 
 struct ExploreStats {
@@ -80,6 +108,15 @@ struct ExploreStats {
   /// banned (or out of its multi-pattern window).
   size_t searches_skipped{0};
   double seconds{0.0};
+  /// Per-phase wall-clock breakdown of `seconds`, accumulated across
+  /// iterations, so regressions can be pinned to the dominant phase
+  /// (BENCH_ematch.json records the apply share). search = the parallel
+  /// pattern/joint searches; apply = match enumeration + descendants-map
+  /// build + the plan/commit pipeline (or the legacy direct loop); rebuild =
+  /// congruence repair + the cycle post-pass sweep.
+  double search_seconds{0.0};
+  double apply_seconds{0.0};
+  double rebuild_seconds{0.0};
 };
 
 /// Runs the exploration phase on a pre-seeded e-graph (root already set).

@@ -136,4 +136,63 @@ std::optional<Id> instantiate(EGraph& eg, const Graph& pat, Id root, const Subst
   return go(root);
 }
 
+namespace {
+
+/// Recursive planner over the pattern DAG; `memo` is a flat pattern-id ->
+/// planned-id table (kInvalidId = unset; staged ids start at -2 so they
+/// never alias the sentinel). No per-call allocation beyond the staged node.
+struct Planner {
+  NodeBuffer& buf;
+  const EGraph& eg;
+  const Graph& pat;
+  const Subst& subst;
+  std::vector<Id>& memo;
+  bool failed{false};
+
+  Id go(Id pid) {
+    if (memo[pid] != kInvalidId) return memo[pid];
+    const TNode& p = pat.node(pid);
+    Id result = kInvalidId;
+    if (p.op == Op::kVar) {
+      auto bound = subst.get(p.str);
+      TENSAT_CHECK(bound.has_value(),
+                   "plan_instantiate: unbound variable ?" << p.str.str());
+      result = eg.find(*bound);
+    } else {
+      TNode node{p.op, p.num, p.str, {}};
+      node.children.reserve(p.children.size());
+      for (Id c : p.children) {
+        const Id child = go(c);
+        if (failed) return kInvalidId;
+        node.children.push_back(child);
+      }
+      auto staged = buf.stage(std::move(node));
+      if (!staged.has_value()) {
+        failed = true;
+        return kInvalidId;
+      }
+      result = *staged;
+    }
+    memo[pid] = result;
+    return result;
+  }
+};
+
+}  // namespace
+
+std::optional<Id> plan_instantiate(NodeBuffer& buf, const Graph& pat, Id root,
+                                   const Subst& subst, std::vector<Id>& memo) {
+  memo.assign(pat.size(), kInvalidId);
+  Planner planner{buf, buf.egraph(), pat, subst, memo, false};
+  const Id out = planner.go(root);
+  if (planner.failed) return std::nullopt;
+  return out;
+}
+
+std::optional<Id> plan_instantiate(NodeBuffer& buf, const Graph& pat, Id root,
+                                   const Subst& subst) {
+  std::vector<Id> memo;
+  return plan_instantiate(buf, pat, root, subst, memo);
+}
+
 }  // namespace tensat

@@ -59,6 +59,26 @@ std::vector<Subst> match_class_naive(const EGraph& eg, const Graph& pat,
 /// Instantiates the pattern rooted at `root` into the e-graph under `subst`.
 /// Returns the resulting e-class, or nullopt if any new node fails the shape
 /// check (the paper's shape-checking gate on rewrites).
+///
+/// This is the legacy direct path: it mutates the e-graph node by node. The
+/// staged apply pipeline uses the plan/commit split below instead; the two
+/// produce identical e-graphs (tests/apply_pipeline_test.cpp).
 std::optional<Id> instantiate(EGraph& eg, const Graph& pat, Id root, const Subst& subst);
+
+/// The plan half of instantiate(): shape-checks and hash-conses the target
+/// nodes into `buf` against buf.egraph() (which must be clean) WITHOUT
+/// mutating the e-graph. Returns the target id — a real e-class id when the
+/// whole target already exists, otherwise a staged id (NodeBuffer::is_staged)
+/// — or nullopt on shape-check failure. Committing the returned id
+/// (NodeBuffer::commit) yields exactly what the direct instantiate() would
+/// have produced.
+std::optional<Id> plan_instantiate(NodeBuffer& buf, const Graph& pat, Id root,
+                                   const Subst& subst);
+
+/// Allocation-light overload for hot loops (the apply pipeline plans every
+/// pending application through this): `memo` is the pattern-id -> planned-id
+/// scratch, resized and reset internally, reusable across calls.
+std::optional<Id> plan_instantiate(NodeBuffer& buf, const Graph& pat, Id root,
+                                   const Subst& subst, std::vector<Id>& memo);
 
 }  // namespace tensat

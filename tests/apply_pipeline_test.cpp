@@ -1,0 +1,307 @@
+// The staged apply pipeline (optimizer/optimizer.cpp): stage 1 plans every
+// pending application read-only against the clean e-graph, stage 2 commits
+// staged nodes and merges serially in plan order, stage 3 is the single
+// rebuild. These tests pin its two contracts:
+//
+//  * determinism: the explored e-graph is bit-identical (same class ids,
+//    same e-node sets, same filtered flags, same extracted graph) for any
+//    apply_threads value, because stage 2's serial plan-order commit is the
+//    only place mutation happens;
+//  * parity: the plan/commit split of instantiate (plan_instantiate +
+//    NodeBuffer::commit) produces exactly the e-graph the legacy direct
+//    instantiate() does, and the staged pipeline as a whole matches the
+//    legacy direct apply path (TensatOptions::staged_apply = false)
+//    semantically — same applications, merges, filtered nodes, and
+//    extraction; the only divergence is that failed instantiations leave no
+//    partial nodes behind under the all-or-nothing commit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cost/cost.h"
+#include "extract/extract.h"
+#include "lang/parse.h"
+#include "models/models.h"
+#include "optimizer/optimizer.h"
+#include "rewrite/matcher.h"
+#include "rewrite/rules.h"
+
+namespace tensat {
+namespace {
+
+/// A strong, order-stable fingerprint of an explored e-graph: every
+/// canonical class with its analysis data and sorted e-node set (filtered
+/// flags included). Two e-graphs with equal fingerprints are identical up to
+/// e-node order within a class.
+std::string fingerprint(const EGraph& eg) {
+  std::ostringstream out;
+  out << "classes=" << eg.num_classes() << " enodes=" << eg.num_enodes_total()
+      << " filtered=" << eg.num_filtered() << " root=" << eg.root() << "\n";
+  for (Id cls : eg.canonical_classes()) {
+    std::vector<std::string> nodes;
+    for (const EClassNode& e : eg.eclass(cls).nodes) {
+      std::ostringstream n;
+      n << op_info(e.node.op).name << '/' << e.node.num << '/' << e.node.str.str();
+      for (Id c : e.node.children) n << ' ' << eg.find(c);
+      if (e.filtered) n << " [filtered]";
+      nodes.push_back(n.str());
+    }
+    std::sort(nodes.begin(), nodes.end());
+    out << cls << ": " << to_string(eg.data(cls));
+    for (const std::string& n : nodes) out << " | " << n;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string explore_and_fingerprint(const Graph& g, const TensatOptions& opt) {
+  EGraph eg = seed_egraph(g);
+  run_exploration(eg, default_rules(), opt);
+  std::string fp = fingerprint(eg);
+  // Fold the extracted graph in as well: identical e-graphs must extract
+  // identical graphs at identical cost.
+  const ExtractionResult ext = extract_greedy(eg, T4CostModel{});
+  if (ext.ok) {
+    fp += "cost=" + std::to_string(ext.cost) + "\n";
+    fp += ext.graph.to_sexpr(ext.graph.roots()[0]);
+  }
+  return fp;
+}
+
+Graph shared_matmuls(int n = 3) {
+  Graph g;
+  const Id x = g.input("x", {64, 256});
+  for (int i = 0; i < n; ++i)
+    g.add_root(g.matmul(x, g.weight("w" + std::to_string(i), {256, 256})));
+  return g;
+}
+
+std::vector<ModelInfo> seed_examples() {
+  std::vector<ModelInfo> models;
+  models.push_back({"shared_matmuls", shared_matmuls()});
+  for (ModelInfo& m : tiny_models()) models.push_back(std::move(m));
+  return models;
+}
+
+TensatOptions explore_options() {
+  TensatOptions opt;
+  opt.k_max = 3;
+  opt.k_multi = 1;
+  opt.node_limit = 3000;
+  return opt;
+}
+
+// ---- Determinism across apply_threads --------------------------------------
+
+TEST(ApplyPipeline, FingerprintIdenticalForAnyThreadCount) {
+  for (const ModelInfo& m : seed_examples()) {
+    TensatOptions opt = explore_options();
+    opt.apply_threads = 1;
+    const std::string baseline = explore_and_fingerprint(m.graph, opt);
+    for (size_t threads : {2u, 8u}) {
+      opt.apply_threads = threads;
+      EXPECT_EQ(baseline, explore_and_fingerprint(m.graph, opt))
+          << m.name << " with apply_threads=" << threads;
+    }
+  }
+}
+
+TEST(ApplyPipeline, SearchAndApplyThreadsCompose) {
+  // Both pools on at once must not perturb anything either.
+  for (const ModelInfo& m : seed_examples()) {
+    TensatOptions opt = explore_options();
+    const std::string baseline = explore_and_fingerprint(m.graph, opt);
+    opt.search_threads = 4;
+    opt.apply_threads = 4;
+    EXPECT_EQ(baseline, explore_and_fingerprint(m.graph, opt)) << m.name;
+  }
+}
+
+// ---- Staged pipeline vs legacy direct path ---------------------------------
+
+TEST(ApplyPipeline, StagedMatchesLegacyDirectPath) {
+  // The two paths are differential baselines of each other. They agree on
+  // everything semantically visible — applications, merges, filtered nodes,
+  // extraction — but not byte-for-byte: the direct path's instantiate adds
+  // nodes bottom-up and leaves partial junk behind when a later node fails
+  // its shape check or the src/target data compare, while a non-viable plan
+  // commits nothing. Staged is therefore never larger than legacy on these
+  // workloads (commit-time shape failures, which can also strand nodes on
+  // the staged path, do not occur here — no mid-iteration analysis joins).
+  for (CycleFilterMode mode :
+       {CycleFilterMode::kEfficient, CycleFilterMode::kVanilla}) {
+    for (const ModelInfo& m : seed_examples()) {
+      TensatOptions opt = explore_options();
+      opt.cycle_filter = mode;
+
+      opt.staged_apply = false;
+      EGraph legacy = seed_egraph(m.graph);
+      const ExploreStats legacy_stats = run_exploration(legacy, default_rules(), opt);
+      opt.staged_apply = true;
+      EGraph staged = seed_egraph(m.graph);
+      const ExploreStats staged_stats = run_exploration(staged, default_rules(), opt);
+
+      // applications is NOT compared: the direct path's stranded partial
+      // nodes are matchable in later iterations, so its application count
+      // drifts upward relative to staged on multi-iteration runs.
+      EXPECT_GT(staged_stats.applications, 0u) << m.name;
+      EXPECT_EQ(legacy_stats.iterations, staged_stats.iterations) << m.name;
+      EXPECT_EQ(legacy_stats.stop, staged_stats.stop) << m.name;
+      EXPECT_EQ(legacy.num_filtered(), staged.num_filtered()) << m.name;
+      EXPECT_EQ(legacy.num_classes() >= staged.num_classes(), true) << m.name;
+      EXPECT_GE(legacy.num_enodes_total(), staged.num_enodes_total()) << m.name;
+
+      const T4CostModel model;
+      const ExtractionResult lx = extract_greedy(legacy, model);
+      const ExtractionResult sx = extract_greedy(staged, model);
+      ASSERT_EQ(lx.ok, sx.ok) << m.name;
+      if (lx.ok) {
+        EXPECT_DOUBLE_EQ(lx.cost, sx.cost) << m.name;
+        EXPECT_EQ(lx.graph.to_sexpr(lx.graph.roots()[0]),
+                  sx.graph.to_sexpr(sx.graph.roots()[0]))
+            << m.name << " mode=" << static_cast<int>(mode);
+      }
+    }
+  }
+}
+
+// ---- plan/commit parity with direct instantiate ----------------------------
+
+TEST(ApplyPipeline, PlanCommitParityWithDirectInstantiate) {
+  const Rewrite rule =
+      make_rewrite("t", "(ewadd ?x ?y)", "(relu (ewadd ?y ?x))");
+  Graph g;
+  const Id a = g.input("a", {8, 8});
+  const Id b = g.input("b", {8, 8});
+  g.add_root(g.ewadd(a, b));
+
+  EGraph direct = seed_egraph(g);
+  EGraph staged = seed_egraph(g);
+  ASSERT_EQ(fingerprint(direct), fingerprint(staged));
+
+  Subst subst;
+  // Bind against the seeded input classes (same ids in both copies).
+  const auto matches = search_pattern(direct, rule.pat, rule.src_roots[0]);
+  ASSERT_EQ(matches.size(), 1u);
+  subst = matches[0].subst;
+
+  const auto direct_id = instantiate(direct, rule.pat, rule.dst_roots[0], subst);
+  ASSERT_TRUE(direct_id.has_value());
+
+  NodeBuffer buf(staged);
+  const uint64_t version_before = staged.version();
+  const auto planned = plan_instantiate(buf, rule.pat, rule.dst_roots[0], subst);
+  ASSERT_TRUE(planned.has_value());
+  EXPECT_TRUE(NodeBuffer::is_staged(*planned));  // relu+ewadd are new nodes
+  EXPECT_EQ(buf.size(), 2u);
+  // Planning is read-only: nothing changed yet.
+  EXPECT_EQ(staged.version(), version_before);
+  EXPECT_EQ(fingerprint(seed_egraph(g)), fingerprint(staged));
+  // The planned analysis data matches what the committed class will carry.
+  EXPECT_EQ(to_string(buf.data(*planned)), to_string(direct.data(*direct_id)));
+
+  const auto committed = buf.commit(staged, *planned);
+  ASSERT_TRUE(committed.has_value());
+  EXPECT_EQ(*committed, *direct_id);
+  EXPECT_EQ(fingerprint(direct), fingerprint(staged));
+
+  // Re-committing is idempotent (memoized), and re-planning the same target
+  // now resolves to the existing class without staging anything.
+  EXPECT_EQ(buf.commit(staged, *planned), committed);
+  NodeBuffer buf2(staged);
+  const auto replanned = plan_instantiate(buf2, rule.pat, rule.dst_roots[0], subst);
+  ASSERT_TRUE(replanned.has_value());
+  EXPECT_FALSE(NodeBuffer::is_staged(*replanned));
+  EXPECT_EQ(*replanned, *committed);
+  EXPECT_EQ(buf2.size(), 0u);
+}
+
+TEST(ApplyPipeline, PlanRejectsShapeFailuresWithoutMutation) {
+  // A matmul of shape-incompatible operands must fail the plan the same way
+  // the direct path fails, leaving no trace in buffer or e-graph.
+  Graph g;
+  const Id a = g.input("a", {8, 8});
+  const Id z = g.input("z", {3, 5});  // 8x8 matmul 3x5: shape check fails
+  g.add_root(a);
+  g.add_root(z);
+  EGraph eg;
+  const auto mapping = eg.add_graph(g);
+  eg.set_root(mapping.at(a));  // fingerprint() reads the root
+
+  Graph pat{GraphKind::kPattern};
+  const std::vector<Id> roots = parse_all_into(pat, "(matmul 0 ?x ?z)");
+  ASSERT_EQ(roots.size(), 1u);
+  Subst subst;
+  ASSERT_TRUE(subst.bind(Symbol("x"), mapping.at(a)));
+  ASSERT_TRUE(subst.bind(Symbol("z"), mapping.at(z)));
+
+  const std::string before = fingerprint(eg);
+  const size_t enodes_before = eg.num_enodes_total();
+  NodeBuffer buf(eg);
+  EXPECT_FALSE(plan_instantiate(buf, pat, roots[0], subst).has_value());
+  EXPECT_EQ(buf.size(), 1u);  // the axis literal was staged before the failure
+  EXPECT_EQ(before, fingerprint(eg));  // ...but nothing touched the e-graph
+
+  // Contrast with the direct path: it adds nodes bottom-up, so the failed
+  // instantiation leaves the orphan literal behind — the junk the staged
+  // pipeline's all-or-nothing commit avoids.
+  EXPECT_FALSE(instantiate(eg, pat, roots[0], subst).has_value());
+  EXPECT_EQ(eg.num_enodes_total(), enodes_before + 1);
+}
+
+// ---- Mid-apply time limit ---------------------------------------------------
+
+TEST(ApplyPipeline, TimeLimitMidApplyStopsPhaseAndRecordsReason) {
+  // A rule whose condition stalls makes the apply phase blow the time limit
+  // while applications are still pending: the whole phase must stop and the
+  // stop reason must be kTimeLimit (it used to leak kIterLimit because the
+  // mid-apply check only broke to the next rule).
+  Graph g;
+  const Id x = g.input("x", {8, 8});
+  const Id y = g.input("y", {8, 8});
+  g.add_root(g.ewadd(x, y));
+  g.add_root(g.ewadd(y, x));
+
+  auto stall = [](const InfoLookup&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return true;
+  };
+  std::vector<Rewrite> rules;
+  rules.push_back(make_rewrite("comm", "(ewadd ?a ?b)", "(ewadd ?b ?a)", stall));
+
+  TensatOptions opt;
+  opt.k_max = 50;
+  opt.explore_time_limit_s = 0.05;
+  EGraph eg = seed_egraph(g);
+  const ExploreStats stats = run_exploration(eg, rules, opt);
+  EXPECT_EQ(stats.stop, StopReason::kTimeLimit);
+  EXPECT_LE(stats.iterations, 2);
+
+  // Same workload with a generous limit saturates instead.
+  opt.explore_time_limit_s = 60.0;
+  EGraph eg2 = seed_egraph(g);
+  const ExploreStats ok = run_exploration(eg2, rules, opt);
+  EXPECT_EQ(ok.stop, StopReason::kSaturated);
+}
+
+// ---- Phase timing -----------------------------------------------------------
+
+TEST(ApplyPipeline, PhaseTimingsArePopulatedAndCoherent) {
+  TensatOptions opt = explore_options();
+  EGraph eg = seed_egraph(shared_matmuls());
+  const ExploreStats stats = run_exploration(eg, default_rules(), opt);
+  EXPECT_GT(stats.search_seconds, 0.0);
+  EXPECT_GT(stats.apply_seconds, 0.0);
+  EXPECT_GT(stats.rebuild_seconds, 0.0);
+  // The three phases are the bulk of exploration; they can never exceed it.
+  EXPECT_LE(stats.search_seconds + stats.apply_seconds + stats.rebuild_seconds,
+            stats.seconds);
+}
+
+}  // namespace
+}  // namespace tensat

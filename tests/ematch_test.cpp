@@ -347,5 +347,40 @@ TEST(OpIndex, MatchesDirectScanAfterMergesAndRebuild) {
   EXPECT_EQ(eg.classes_with_op(Op::kRelu).size(), 1u);
 }
 
+TEST(OpIndex, DirtyQueriesAreCachedPerVersion) {
+  Graph g;
+  const Id a = g.input("a", {4, 4});
+  const Id b = g.input("b", {4, 4});
+  g.add_root(g.relu(a));
+  g.add_root(g.relu(b));
+  EGraph eg;
+  auto mapping = eg.add_graph(g);
+
+  // Clean e-graph: the op-index bucket itself is served, allocation-free —
+  // repeated calls return the identical vector.
+  const std::vector<Id>* clean1 = &eg.classes_with_op(Op::kInput);
+  const std::vector<Id>* clean2 = &eg.classes_with_op(Op::kInput);
+  EXPECT_EQ(clean1, clean2);
+
+  eg.merge(mapping.at(a), mapping.at(b));
+
+  // Dirty e-graph: the canonicalized bucket is computed once and cached
+  // until the next state change.
+  const std::vector<Id>* dirty1 = &eg.classes_with_op(Op::kInput);
+  const std::vector<Id>* dirty2 = &eg.classes_with_op(Op::kInput);
+  EXPECT_EQ(dirty1, dirty2);
+  ASSERT_EQ(dirty1->size(), 1u);
+  EXPECT_EQ(eg.find((*dirty1)[0]), (*dirty1)[0]);
+
+  // A state change invalidates the cache: the relus congruence-merge during
+  // rebuild, after which the clean path serves the compacted bucket again.
+  const uint64_t version_before = eg.version();
+  eg.rebuild();
+  EXPECT_GT(eg.version(), version_before);  // congruence merge happened
+  const std::vector<Id>& relus = eg.classes_with_op(Op::kRelu);
+  ASSERT_EQ(relus.size(), 1u);
+  EXPECT_EQ(eg.find(relus[0]), relus[0]);
+}
+
 }  // namespace
 }  // namespace tensat
