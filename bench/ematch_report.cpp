@@ -16,6 +16,12 @@
 //     Compares accumulated ExploreStats::apply_seconds and records the
 //     per-phase breakdown. Gate: staged with the pool must not be slower
 //     than the serial staged baseline overall.
+//  5. cycles: full exploration runs; incremental cycle analysis
+//     (TensatOptions::incremental_cycles, journal/epoch descendants map +
+//     scoped sweep) vs the fresh-rebuild baseline, comparing
+//     ExploreStats::dmap_seconds + cycle_sweep_seconds. The two modes must
+//     agree on applications and filtered nodes (they produce bit-identical
+//     e-graphs). Gate: incremental must not be slower than fresh overall.
 //
 // Usage: bench_ematch_report [output.json]   (default: BENCH_ematch.json)
 #include <algorithm>
@@ -360,6 +366,89 @@ int main(int argc, char** argv) {
   const double apply_speedup =
       pooled_apply_seconds > 0.0 ? serial_apply_seconds / pooled_apply_seconds : 0.0;
 
+  // ---- Section 5: incremental vs fresh cycle analysis ----------------------
+  // Full exploration runs from a fresh seed each repetition; only the cycle
+  // analysis work (ExploreStats::dmap_seconds + cycle_sweep_seconds) is
+  // compared — it is exactly the work the incremental subsystem replaces:
+  // descendants-map construction/epoch advances and the post-rebuild sweep.
+  // The differential suite (tests/cycles_incremental_test.cpp) proves the
+  // two modes produce bit-identical e-graphs; the bench re-checks the cheap
+  // observable part (applications + filtered counts) every run.
+  struct CycleSide {
+    double dmap_seconds{0.0};
+    double cycle_sweep_seconds{0.0};
+    size_t applications{0};
+    size_t filtered{0};
+    [[nodiscard]] double total() const { return dmap_seconds + cycle_sweep_seconds; }
+  };
+  struct CycleRow {
+    std::string name;
+    CycleSide fresh;
+    CycleSide incremental;
+  };
+  std::vector<CycleRow> cycle_rows;
+
+  const auto measure_cycles = [&rules](const Graph& g, bool incremental,
+                                       double min_seconds = 0.5) {
+    TensatOptions opt;
+    opt.k_max = 3;
+    opt.k_multi = 1;
+    opt.node_limit = 6000;
+    opt.incremental_cycles = incremental;
+    CycleSide acc;
+    size_t reps = 0;
+    Timer timer;
+    do {
+      EGraph eg = seed_egraph(g);
+      const ExploreStats s = run_exploration(eg, rules, opt);
+      acc.dmap_seconds += s.dmap_seconds;
+      acc.cycle_sweep_seconds += s.cycle_sweep_seconds;
+      acc.applications = s.applications;  // identical every rep
+      acc.filtered = s.filtered;
+      ++reps;
+    } while (timer.seconds() < min_seconds);
+    acc.dmap_seconds /= static_cast<double>(reps);
+    acc.cycle_sweep_seconds /= static_cast<double>(reps);
+    return acc;
+  };
+
+  std::vector<ApplyWorkload> cycle_workloads;
+  cycle_workloads.push_back({"BERT(2,32,128)", models[0].graph});
+  cycle_workloads.push_back({"NasRNN(1,8,64)", models[1].graph});
+  cycle_workloads.push_back({"SharedMM(8x12)", make_shared_matmul_blowup(8, 12)});
+
+  std::printf("\n%-24s %10s %10s | %10s %10s | %8s\n", "cycle analysis",
+              "fresh dmap", "sweep s", "inc dmap", "sweep s", "speedup");
+  for (const ApplyWorkload& w : cycle_workloads) {
+    CycleRow row;
+    row.name = w.name;
+    row.fresh = measure_cycles(w.graph, /*incremental=*/false);
+    row.incremental = measure_cycles(w.graph, /*incremental=*/true);
+    std::printf("%-24s %10.5f %10.5f | %10.5f %10.5f | %7.2fx\n", row.name.c_str(),
+                row.fresh.dmap_seconds, row.fresh.cycle_sweep_seconds,
+                row.incremental.dmap_seconds, row.incremental.cycle_sweep_seconds,
+                row.fresh.total() / row.incremental.total());
+    if (row.fresh.applications != row.incremental.applications ||
+        row.fresh.filtered != row.incremental.filtered) {
+      std::fprintf(stderr,
+                   "incremental/fresh cycle-analysis mismatch on %s: "
+                   "applications %zu vs %zu, filtered %zu vs %zu\n",
+                   row.name.c_str(), row.incremental.applications,
+                   row.fresh.applications, row.incremental.filtered,
+                   row.fresh.filtered);
+      return 7;
+    }
+    cycle_rows.push_back(std::move(row));
+  }
+
+  double fresh_cycle_seconds = 0.0, inc_cycle_seconds = 0.0;
+  for (const CycleRow& r : cycle_rows) {
+    fresh_cycle_seconds += r.fresh.total();
+    inc_cycle_seconds += r.incremental.total();
+  }
+  const double cycle_speedup =
+      inc_cycle_seconds > 0.0 ? fresh_cycle_seconds / inc_cycle_seconds : 0.0;
+
   // ---- JSON report ---------------------------------------------------------
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -451,15 +540,44 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "    ],\n");
   std::fprintf(f, "    \"overall_speedup_pool_over_serial\": %.2f\n", apply_speedup);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"cycles\": {\n");
+  std::fprintf(f, "    \"workload\": \"full exploration runs (k_max=3, k_multi=1, "
+                  "node_limit=6000): incremental cycle analysis (journal/epoch "
+                  "descendants map + scoped sweep, TensatOptions::incremental_cycles) "
+                  "vs the per-iteration fresh rebuild; seconds are "
+                  "ExploreStats::dmap_seconds / cycle_sweep_seconds\",\n");
+  std::fprintf(f, "    \"rows\": [\n");
+  for (size_t i = 0; i < cycle_rows.size(); ++i) {
+    const CycleRow& r = cycle_rows[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"applications\": %zu, "
+                 "\"filtered\": %zu,\n"
+                 "       \"fresh\": {\"dmap_seconds\": %.6f, "
+                 "\"cycle_sweep_seconds\": %.6f},\n"
+                 "       \"incremental\": {\"dmap_seconds\": %.6f, "
+                 "\"cycle_sweep_seconds\": %.6f},\n"
+                 "       \"speedup\": %.2f}%s\n",
+                 r.name.c_str(), r.incremental.applications, r.incremental.filtered,
+                 r.fresh.dmap_seconds, r.fresh.cycle_sweep_seconds,
+                 r.incremental.dmap_seconds, r.incremental.cycle_sweep_seconds,
+                 r.fresh.total() / r.incremental.total(),
+                 i + 1 < cycle_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"overall_speedup_incremental_over_fresh\": %.2f\n",
+               cycle_speedup);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
 
   std::printf("\noverall speedup (vm over naive): %.2fx, (joint over cartesian): "
-              "%.2fx, (pooled over serial apply): %.2fx -> %s\n",
-              speedup, join_speedup, apply_speedup, out_path.c_str());
+              "%.2fx, (pooled over serial apply): %.2fx, (incremental over fresh "
+              "cycles): %.2fx -> %s\n",
+              speedup, join_speedup, apply_speedup, cycle_speedup, out_path.c_str());
   if (speedup < 2.0) return 2;        // gate: VM must be >= 2x naive
   if (join_speedup < 1.0) return 4;   // gate: joint join must not lose overall
   if (apply_speedup < 1.0) return 5;  // gate: pooled apply must not lose overall
+  if (cycle_speedup < 1.0) return 6;  // gate: incremental cycles must not lose
   return 0;
 }

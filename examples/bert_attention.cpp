@@ -32,9 +32,11 @@ int main() {
   const ExploreStats explore = run_exploration(eg, default_rules(), options);
   std::printf("exploration: %zu e-nodes, %zu e-classes, %zu cycle-filtered\n",
               explore.enodes_total, explore.eclasses, explore.filtered);
-  std::printf("phase times: search %.3fs, apply %.3fs, rebuild %.3fs (of %.3fs)\n",
+  std::printf("phase times: search %.3fs, apply %.3fs, rebuild %.3fs, "
+              "dmap %.3fs, cycle sweep %.3fs (of %.3fs)\n",
               explore.search_seconds, explore.apply_seconds,
-              explore.rebuild_seconds, explore.seconds);
+              explore.rebuild_seconds, explore.dmap_seconds,
+              explore.cycle_sweep_seconds, explore.seconds);
 
   const ExtractionResult greedy = extract_greedy(eg, model);
   const IlpExtractionResult ilp = extract_ilp(eg, model, options.ilp);

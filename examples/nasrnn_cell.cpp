@@ -40,9 +40,11 @@ int main() {
   std::printf("TENSAT: %.1f us after %.2fs (explore %.2fs + extract %.2fs)\n",
               tensat.optimized_cost, tensat_timer.seconds(),
               tensat.explore.seconds, tensat.extract_seconds);
-  std::printf("        explore phases: search %.2fs, apply %.2fs, rebuild %.2fs\n",
+  std::printf("        explore phases: search %.2fs, apply %.2fs, rebuild %.2fs, "
+              "cycles %.2fs\n",
               tensat.explore.search_seconds, tensat.explore.apply_seconds,
-              tensat.explore.rebuild_seconds);
+              tensat.explore.rebuild_seconds,
+              tensat.explore.dmap_seconds + tensat.explore.cycle_sweep_seconds);
 
   std::printf("\nspeedup over original: TASO %.1f%%, TENSAT %.1f%%\n",
               100.0 * (taso.original_cost - taso.best_cost) / taso.best_cost,

@@ -42,9 +42,11 @@ int main() {
               result.explore.iterations, result.explore.enodes_total,
               result.explore.eclasses,
               result.explore.stop == StopReason::kSaturated ? "saturated" : "limit");
-  std::printf("phase times   : search %.3fs, apply %.3fs, rebuild %.3fs\n",
+  std::printf("phase times   : search %.3fs, apply %.3fs, rebuild %.3fs, "
+              "dmap %.3fs, cycle sweep %.3fs\n",
               result.explore.search_seconds, result.explore.apply_seconds,
-              result.explore.rebuild_seconds);
+              result.explore.rebuild_seconds, result.explore.dmap_seconds,
+              result.explore.cycle_sweep_seconds);
   std::printf("\noptimized graph (root expression):\n%s\n",
               result.optimized.to_sexpr(result.optimized.roots()[0]).c_str());
   return 0;

@@ -226,4 +226,52 @@ size_t filter_cycles(EGraph& eg) {
 
 bool is_acyclic(const EGraph& eg) { return collect_cycles(eg, 1).empty(); }
 
+bool has_cycle_from(const EGraph& eg, const std::vector<Id>& roots) {
+  // Same edge semantics as collect_cycles (filtered e-nodes invisible,
+  // children canonicalized), but id-indexed coloring and first-back-edge
+  // exit: this runs every iteration, so it must not pay hashing or cycle
+  // reconstruction for the common "still acyclic" answer.
+  std::vector<int8_t> state(eg.num_ids(), 0);  // 0 unvisited, 1 on stack, 2 done
+  struct Frame {
+    Id cls;
+    size_t node_i{0};
+    size_t child_i{0};
+  };
+  std::vector<Frame> path;
+  for (Id root : roots) {
+    const Id start = eg.find(root);
+    if (state[start] != 0) continue;
+    path.push_back(Frame{start});
+    state[start] = 1;
+    while (!path.empty()) {
+      Frame& f = path.back();
+      const EClass& cls = eg.eclass(f.cls);
+      bool descended = false;
+      while (f.node_i < cls.nodes.size()) {
+        const EClassNode& entry = cls.nodes[f.node_i];
+        if (entry.filtered || f.child_i >= entry.node.children.size()) {
+          ++f.node_i;
+          f.child_i = 0;
+          continue;
+        }
+        const Id child = eg.find(entry.node.children[f.child_i]);
+        ++f.child_i;
+        if (state[child] == 1) return true;  // back edge
+        if (state[child] == 0) {
+          state[child] = 1;
+          path.push_back(Frame{child});
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      if (f.node_i >= cls.nodes.size()) {
+        state[f.cls] = 2;
+        path.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace tensat

@@ -39,6 +39,7 @@ std::optional<Id> EGraph::try_add(TNode node) {
   op_index_[static_cast<size_t>(node.op)].push_back(id);
   for (Id c : node.children) classes_[find(c)].parents.emplace_back(node, id);
   hashcons_.emplace(std::move(node), id);
+  if (journal_ != nullptr) journal_->new_classes.push_back(id);
   ++version_;
   return id;
 }
@@ -85,6 +86,7 @@ bool EGraph::merge(Id a, Id b) {
   a = find(a);
   b = find(b);
   if (a == b) return false;
+  if (journal_ != nullptr) journal_->merges.emplace_back(a, b);
   const Id root = uf_.unite(a, b);
   const Id other = (root == a) ? b : a;
   EClass& winner = classes_[root];
@@ -284,6 +286,7 @@ void EGraph::set_filtered(Id class_id, size_t index) {
   TENSAT_CHECK(index < cls.nodes.size(), "set_filtered: bad node index");
   if (!cls.nodes[index].filtered) {
     cls.nodes[index].filtered = true;
+    if (journal_ != nullptr) journal_->filtered_classes.push_back(find(class_id));
     ++num_filtered_;
     ++version_;
   }

@@ -201,9 +201,41 @@ std::vector<JointMatch> search_joint(const EGraph& eg, const Program& prog,
   return out;
 }
 
+size_t search_work_estimate(const EGraph& eg,
+                            const std::vector<const Program*>& progs) {
+  // num_classes() walks every id; compute it once, only if some program
+  // actually scans all classes.
+  size_t all_classes = 0;
+  bool all_classes_known = false;
+  const auto candidates_for = [&](Op op) {
+    if (!op_is_leaf(op)) return eg.classes_with_op(op).size();
+    if (!all_classes_known) {
+      all_classes = eg.num_classes();
+      all_classes_known = true;
+    }
+    return all_classes;
+  };
+  size_t work = 0;
+  for (const Program* prog : progs) {
+    if (prog->is_joint()) {
+      // Nested scans multiply rather than add, but by then the sweep is big
+      // enough to parallelize anyway; the sum is a cheap lower bound.
+      for (const Instruction& in : prog->insts)
+        if (in.kind == Instruction::Kind::kScan) work += candidates_for(in.op);
+    } else {
+      work += candidates_for(prog->root_op);
+    }
+  }
+  return work;
+}
+
 std::vector<std::vector<PatternMatch>> search_all(
     const EGraph& eg, const std::vector<const Program*>& progs, size_t threads,
     const MatchLimits& limits) {
+  // Below the work threshold, thread spawns cost more than the whole sweep:
+  // run on the calling thread. Identical results either way.
+  if (threads != 1 && search_work_estimate(eg, progs) < kMinParallelSearchWork)
+    threads = 1;
   std::vector<std::vector<PatternMatch>> results(progs.size());
   parallel_for(progs.size(), threads,
                [&](size_t i) { results[i] = search(eg, *progs[i], limits); });

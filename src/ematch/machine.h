@@ -54,13 +54,32 @@ struct JointMatch {
 std::vector<JointMatch> search_joint(const EGraph& eg, const Program& prog,
                                      const MatchLimits& limits = {});
 
+/// Coarse per-sweep work estimate for a batch of searches: candidate root
+/// classes summed over the programs (the op-index bucket for operator roots,
+/// every canonical class for leaf roots, each kScan's candidates for joint
+/// programs). Cheap — bucket sizes are already maintained — and proportional
+/// to the number of VM entry points a sweep will try, which is what thread
+/// spawn overhead must amortize against.
+size_t search_work_estimate(const EGraph& eg,
+                            const std::vector<const Program*>& progs);
+
+/// Minimum search_work_estimate for which search_all dispatches its worker
+/// pool. Below it a sweep completes in well under the cost of spawning
+/// threads (the BENCH_ematch.json "parallel" section measured 0.53-0.93x
+/// "speedups" on seed-sized graphs before this gate existed), so the sweep
+/// runs on the calling thread. Results are identical either way — this is
+/// purely a dispatch decision.
+constexpr size_t kMinParallelSearchWork = 4096;
+
 /// Searches many programs against one read-only e-graph using up to `threads`
 /// workers (0 = hardware concurrency). results[i] always corresponds to
 /// progs[i] and is bit-identical to a serial ematch::search(eg, *progs[i]) —
 /// worker scheduling cannot reorder or change anything (each program's search
 /// is single-threaded and results merge by index), so any thread count
-/// produces the same output. The e-graph must be clean (rebuilt): on a clean
-/// e-graph every VM operation, union-find lookups included, is a pure read.
+/// produces the same output. Sweeps whose search_work_estimate falls below
+/// kMinParallelSearchWork run serially regardless of `threads`. The e-graph
+/// must be clean (rebuilt): on a clean e-graph every VM operation, union-find
+/// lookups included, is a pure read.
 std::vector<std::vector<PatternMatch>> search_all(
     const EGraph& eg, const std::vector<const Program*>& progs, size_t threads,
     const MatchLimits& limits = {});

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "cycles/cycles.h"
+#include "cycles/incremental.h"
 #include "rewrite/matcher.h"
 #include "rewrite/multi.h"
 #include "support/check.h"
@@ -27,7 +28,7 @@ struct Application {
 /// a matched class is a descendant of (or is) a class we would merge into.
 /// Pure reads; on a clean e-graph, safe for concurrent callers.
 bool passes_read_only_checks(const EGraph& eg, const Application& app,
-                             CycleFilterMode mode, const DescendantsMap* dmap) {
+                             CycleFilterMode mode, const ReachabilityMap* dmap) {
   const Rewrite& rule = *app.rule;
   if (rule.cond) {
     auto lookup = [&](Symbol var) -> const ValueInfo& {
@@ -60,7 +61,7 @@ bool merge_sound(const ValueInfo& a, const ValueInfo& b) {
 /// Applies one substitution with the configured cycle handling. Returns true
 /// if the e-graph changed.
 bool apply_one(EGraph& eg, const Application& app, CycleFilterMode mode,
-               const DescendantsMap* dmap) {
+               const ReachabilityMap* dmap) {
   const Rewrite& rule = *app.rule;
   if (!passes_read_only_checks(eg, app, mode, dmap)) return false;
 
@@ -118,7 +119,7 @@ struct ApplyPlan {
 /// (but excluding) the merges; writes only into `plan` and `chunk`.
 void plan_application(const EGraph& eg, const Application& app, ApplyPlan& plan,
                       PlanChunk& chunk, CycleFilterMode mode,
-                      const DescendantsMap* dmap) {
+                      const ReachabilityMap* dmap) {
   const Rewrite& rule = *app.rule;
   if (!passes_read_only_checks(eg, app, mode, dmap)) return;
 
@@ -206,6 +207,19 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
   }
 
   eg.rebuild();
+  // Incremental cycle analysis (cycles/incremental.h): attach once — the
+  // e-graph journals every add/merge/filtering from here on — and build the
+  // initial epoch. The fresh path below rebuilds a DescendantsMap per
+  // iteration instead, as the differential baseline.
+  const bool incremental_cycles =
+      options.incremental_cycles &&
+      options.cycle_filter == CycleFilterMode::kEfficient;
+  std::unique_ptr<IncrementalCycleAnalysis> inc_cycles;
+  if (incremental_cycles) {
+    Timer dmap_timer;
+    inc_cycles = std::make_unique<IncrementalCycleAnalysis>(eg);
+    stats.dmap_seconds += dmap_timer.seconds();
+  }
   for (int iter = 0; iter < options.k_max; ++iter) {
     if (timer.seconds() > options.explore_time_limit_s) {
       stats.stop = StopReason::kTimeLimit;
@@ -223,14 +237,30 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       return !(rules[r].is_multi() && iter >= options.k_multi);
     };
 
-    // The descendants map is rebuilt once per iteration (Algorithm 2 line 3).
-    // It is immutable after construction, so stage-1 workers share it
-    // read-only (counted as apply time: it exists solely for the pre-filter).
+    // The descendants relation for the pre-filter: a frozen epoch of the
+    // incremental map (advanced at the previous rebuild boundary), or — in
+    // fresh mode — a DescendantsMap rebuilt here, once per iteration
+    // (Algorithm 2 line 3). Either is immutable until the serial boundary,
+    // so stage-1 workers share it read-only.
     std::unique_ptr<DescendantsMap> dmap;
+    const ReachabilityMap* reach = nullptr;
     if (options.cycle_filter == CycleFilterMode::kEfficient) {
-      Timer dmap_timer;
-      dmap = std::make_unique<DescendantsMap>(eg);
-      stats.apply_seconds += dmap_timer.seconds();
+      if (incremental_cycles) {
+        // Serial epoch boundary: drain the journal accumulated since the
+        // last boundary into the next frozen epoch. Done lazily here — not
+        // after the previous iteration's sweep — so the final iteration's
+        // journal (whose epoch nobody would ever query) is never paid for,
+        // mirroring the fresh path building its map only at iteration start.
+        Timer dmap_timer;
+        inc_cycles->advance_epoch();
+        stats.dmap_seconds += dmap_timer.seconds();
+        reach = inc_cycles.get();
+      } else {
+        Timer dmap_timer;
+        dmap = std::make_unique<DescendantsMap>(eg);
+        stats.dmap_seconds += dmap_timer.seconds();
+        reach = dmap.get();
+      }
     }
 
     // SEARCH: all canonical patterns with at least one active consumer, once
@@ -268,8 +298,21 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         tasks.push_back(SearchTask{true, r, limits});
       }
     }
+    // Same dispatch gate as ematch::search_all: a sweep too small to
+    // amortize thread spawns runs on the calling thread (identical results
+    // either way — only the dispatch changes).
+    size_t search_threads = options.search_threads;
+    if (search_threads != 1) {
+      std::vector<const ematch::Program*> progs;
+      progs.reserve(tasks.size());
+      for (const SearchTask& task : tasks)
+        progs.push_back(task.joint ? &plan.joint_programs[task.index]
+                                   : &plan.patterns[task.index].program);
+      if (ematch::search_work_estimate(eg, progs) < ematch::kMinParallelSearchWork)
+        search_threads = 1;
+    }
     Timer search_timer;
-    parallel_for(tasks.size(), options.search_threads, [&](size_t t) {
+    parallel_for(tasks.size(), search_threads, [&](size_t t) {
       const SearchTask& task = tasks[t];
       if (task.joint)
         joint_matches[task.index] =
@@ -409,7 +452,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
             return;
           }
           plan_application(eg, apps[i], plans[i], chunks[c], options.cycle_filter,
-                           dmap.get());
+                           reach);
         }
       });
 
@@ -445,7 +488,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
           hit_time_limit = true;
           break;
         }
-        if (apply_one(eg, app, options.cycle_filter, dmap.get()))
+        if (apply_one(eg, app, options.cycle_filter, reach))
           ++stats.applications;
       }
     }
@@ -454,15 +497,24 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
     // STAGE 3: restore congruence, then filter cycles.
     Timer rebuild_timer;
     eg.rebuild();
+    stats.rebuild_seconds += rebuild_timer.seconds();
     // Post-processing (Algorithm 2 lines 10-18): filter remaining cycles.
     if (options.cycle_filter == CycleFilterMode::kEfficient ||
         options.cycle_filter == CycleFilterMode::kVanilla) {
       // Vanilla's per-merge check is complete for the merges it allows, but
       // congruence-closure merges during rebuild() can still fuse classes
       // into cycles; sweep them too so the invariant holds for both modes.
-      filter_cycles(eg);
+      // The incremental sweep restarts its DFS only from merge-dirtied
+      // classes and skips outright on add-only iterations; when it does
+      // find a cycle it delegates to the same full filter_cycles pass, so
+      // the filtered sets match the fresh baseline exactly.
+      Timer sweep_timer;
+      if (incremental_cycles)
+        inc_cycles->sweep_cycles();
+      else
+        filter_cycles(eg);
+      stats.cycle_sweep_seconds += sweep_timer.seconds();
     }
-    stats.rebuild_seconds += rebuild_timer.seconds();
 
     if (hit_node_limit) {
       stats.stop = StopReason::kNodeLimit;

@@ -82,6 +82,22 @@ struct TensatOptions {
   /// observes earlier in-iteration merges — relevant only to analysis joins
   /// mid-iteration.
   bool staged_apply = true;
+  /// True (default) maintains the efficient cycle filter's descendants map
+  /// and cycle sweep incrementally across iterations (cycles/incremental.h):
+  /// the e-graph journals adds/merges/filterings, the map repairs only the
+  /// rows whose reachability changed at the serial rebuild boundary (falling
+  /// back to full reconstruction when merges fuse large regions), and the
+  /// post-rebuild sweep restarts its DFS only from merge-dirtied classes.
+  /// False rebuilds the DescendantsMap from scratch every iteration and
+  /// sweeps the whole graph — the paper's literal Algorithm 2, kept as the
+  /// differential baseline (tests/cycles_incremental_test.cpp proves the two
+  /// modes produce identical reaches() relations, filtered-node sets, and
+  /// bit-identical e-graphs; bench_ematch_report's "cycles" section gates
+  /// incremental >= 1x fresh). Only meaningful with
+  /// CycleFilterMode::kEfficient; the epoch advance happens strictly at the
+  /// serial boundary, so any apply_threads/search_threads value still yields
+  /// a bit-identical e-graph.
+  bool incremental_cycles = true;
 };
 
 struct ExploreStats {
@@ -110,13 +126,19 @@ struct ExploreStats {
   double seconds{0.0};
   /// Per-phase wall-clock breakdown of `seconds`, accumulated across
   /// iterations, so regressions can be pinned to the dominant phase
-  /// (BENCH_ematch.json records the apply share). search = the parallel
-  /// pattern/joint searches; apply = match enumeration + descendants-map
-  /// build + the plan/commit pipeline (or the legacy direct loop); rebuild =
-  /// congruence repair + the cycle post-pass sweep.
+  /// (BENCH_ematch.json records the apply and cycles shares). search = the
+  /// parallel pattern/joint searches; apply = match enumeration + the
+  /// plan/commit pipeline (or the legacy direct loop); rebuild = congruence
+  /// repair; dmap = descendants-map construction (fresh mode) or epoch
+  /// advances (incremental mode); cycle_sweep = the post-rebuild cycle
+  /// filtering pass. dmap/cycle_sweep used to be folded into apply/rebuild;
+  /// they are split out so the incremental-vs-fresh cycle analysis gate can
+  /// measure exactly the work it replaces.
   double search_seconds{0.0};
   double apply_seconds{0.0};
   double rebuild_seconds{0.0};
+  double dmap_seconds{0.0};
+  double cycle_sweep_seconds{0.0};
 };
 
 /// Runs the exploration phase on a pre-seeded e-graph (root already set).

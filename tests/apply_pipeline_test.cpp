@@ -30,34 +30,12 @@
 #include "optimizer/optimizer.h"
 #include "rewrite/matcher.h"
 #include "rewrite/rules.h"
+#include "tests/egraph_fingerprint.h"
 
 namespace tensat {
 namespace {
 
-/// A strong, order-stable fingerprint of an explored e-graph: every
-/// canonical class with its analysis data and sorted e-node set (filtered
-/// flags included). Two e-graphs with equal fingerprints are identical up to
-/// e-node order within a class.
-std::string fingerprint(const EGraph& eg) {
-  std::ostringstream out;
-  out << "classes=" << eg.num_classes() << " enodes=" << eg.num_enodes_total()
-      << " filtered=" << eg.num_filtered() << " root=" << eg.root() << "\n";
-  for (Id cls : eg.canonical_classes()) {
-    std::vector<std::string> nodes;
-    for (const EClassNode& e : eg.eclass(cls).nodes) {
-      std::ostringstream n;
-      n << op_info(e.node.op).name << '/' << e.node.num << '/' << e.node.str.str();
-      for (Id c : e.node.children) n << ' ' << eg.find(c);
-      if (e.filtered) n << " [filtered]";
-      nodes.push_back(n.str());
-    }
-    std::sort(nodes.begin(), nodes.end());
-    out << cls << ": " << to_string(eg.data(cls));
-    for (const std::string& n : nodes) out << " | " << n;
-    out << "\n";
-  }
-  return out.str();
-}
+// fingerprint() comes from tests/egraph_fingerprint.h.
 
 std::string explore_and_fingerprint(const Graph& g, const TensatOptions& opt) {
   EGraph eg = seed_egraph(g);
@@ -107,6 +85,30 @@ TEST(ApplyPipeline, FingerprintIdenticalForAnyThreadCount) {
       opt.apply_threads = threads;
       EXPECT_EQ(baseline, explore_and_fingerprint(m.graph, opt))
           << m.name << " with apply_threads=" << threads;
+    }
+  }
+}
+
+TEST(ApplyPipeline, IncrementalCyclesDeterministicAcrossThreadCounts) {
+  // The incremental cycle analysis advances its epoch only at the serial
+  // rebuild boundary, so its map — and with it the pre-filter's answers and
+  // the filtered node set — must be a pure function of the e-graph state,
+  // never of worker count or scheduling: bit-identical e-graphs for any
+  // apply_threads/search_threads combination, in both cycle modes.
+  for (bool incremental : {true, false}) {
+    for (const ModelInfo& m : seed_examples()) {
+      TensatOptions opt = explore_options();
+      opt.incremental_cycles = incremental;
+      opt.search_threads = 1;
+      opt.apply_threads = 1;
+      const std::string baseline = explore_and_fingerprint(m.graph, opt);
+      for (size_t threads : {2u, 8u}) {
+        opt.search_threads = threads;
+        opt.apply_threads = threads;
+        EXPECT_EQ(baseline, explore_and_fingerprint(m.graph, opt))
+            << m.name << " incremental=" << incremental
+            << " threads=" << threads;
+      }
     }
   }
 }
@@ -298,8 +300,13 @@ TEST(ApplyPipeline, PhaseTimingsArePopulatedAndCoherent) {
   EXPECT_GT(stats.search_seconds, 0.0);
   EXPECT_GT(stats.apply_seconds, 0.0);
   EXPECT_GT(stats.rebuild_seconds, 0.0);
-  // The three phases are the bulk of exploration; they can never exceed it.
-  EXPECT_LE(stats.search_seconds + stats.apply_seconds + stats.rebuild_seconds,
+  // The cycle-analysis phases are split out of apply/rebuild so the
+  // incremental-vs-fresh gate can measure exactly the work it replaces.
+  EXPECT_GT(stats.dmap_seconds, 0.0);
+  EXPECT_GE(stats.cycle_sweep_seconds, 0.0);
+  // The phases are the bulk of exploration; they can never exceed it.
+  EXPECT_LE(stats.search_seconds + stats.apply_seconds + stats.rebuild_seconds +
+                stats.dmap_seconds + stats.cycle_sweep_seconds,
             stats.seconds);
 }
 

@@ -1,0 +1,159 @@
+// Seeded random-churn harness for the incremental cycle analysis
+// (cycles/incremental.h), pinning the two properties the pre-filter's
+// soundness rests on:
+//
+//  * is_acyclic() holds after every sweep_cycles() round, whatever random
+//    interleaving of adds, merges, and filterings preceded it;
+//  * the incremental map never under-approximates a DescendantsMap built
+//    fresh on the same clean e-graph (a missed reachability would let the
+//    O(1) pre-filter wave a known-cyclic merge through) — and in fact the
+//    two relations are asserted bit-equal, the stronger contract the
+//    exploration differential relies on.
+//
+// A second harness drives full explorations with random rule subsets,
+// incremental vs fresh, and demands bit-identical e-graphs.
+//
+// Everything is seeded (support/rng.h), so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cycles/cycles.h"
+#include "cycles/incremental.h"
+#include "models/models.h"
+#include "optimizer/optimizer.h"
+#include "rewrite/rules.h"
+#include "support/rng.h"
+#include "tests/egraph_fingerprint.h"
+
+namespace tensat {
+namespace {
+
+/// Canonical classes holding {8, 8} tensors — mutually mergeable (the
+/// analysis join requires equal kind and shape).
+std::vector<Id> tensor_classes(const EGraph& eg) {
+  std::vector<Id> out;
+  const std::vector<int32_t> shape{8, 8};
+  for (Id cls : eg.canonical_classes())
+    if (eg.data(cls).is_tensor() && eg.data(cls).shape == shape) out.push_back(cls);
+  return out;
+}
+
+size_t reaches_mismatches(const ReachabilityMap& a, const ReachabilityMap& b,
+                          const std::vector<Id>& classes) {
+  size_t mismatches = 0;
+  for (Id from : classes)
+    for (Id to : classes)
+      if (a.reaches(from, to) != b.reaches(from, to)) ++mismatches;
+  return mismatches;
+}
+
+size_t under_approximations(const ReachabilityMap& inc, const ReachabilityMap& fresh,
+                            const std::vector<Id>& classes) {
+  size_t misses = 0;
+  for (Id from : classes)
+    for (Id to : classes)
+      if (fresh.reaches(from, to) && !inc.reaches(from, to)) ++misses;
+  return misses;
+}
+
+TEST(CyclesFuzz, RandomChurnKeepsSweepAcyclicAndMapExact) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    Graph g;
+    std::vector<Id> inputs;
+    for (int i = 0; i < 4; ++i)
+      inputs.push_back(g.input("x" + std::to_string(i), {8, 8}));
+    g.add_root(g.ewadd(g.relu(inputs[0]), g.tanh(inputs[1])));
+    g.add_root(g.ewmul(inputs[2], inputs[3]));
+    EGraph eg = seed_egraph(g);
+    eg.rebuild();
+    IncrementalCycleAnalysis inc(eg);
+
+    for (int round = 0; round < 10; ++round) {
+      std::vector<Id> classes = tensor_classes(eg);
+      // Random adds: unary or binary nodes over random existing classes.
+      const int adds = static_cast<int>(rng.below(8));
+      for (int i = 0; i < adds; ++i) {
+        const Id a = eg.find(classes[rng.below(classes.size())]);
+        switch (rng.below(4)) {
+          case 0: eg.add(TNode{Op::kRelu, 0, {}, {a}}); break;
+          case 1: eg.add(TNode{Op::kTanh, 0, {}, {a}}); break;
+          case 2: eg.add(TNode{Op::kSigmoid, 0, {}, {a}}); break;
+          default: {
+            const Id b = eg.find(classes[rng.below(classes.size())]);
+            eg.add(TNode{Op::kEwadd, 0, {}, {a, b}});
+            break;
+          }
+        }
+      }
+      // Random merges — including ancestor/descendant pairs, which close
+      // cycles the sweep must then resolve.
+      classes = tensor_classes(eg);
+      const int merges = static_cast<int>(rng.below(4));
+      for (int i = 0; i < merges; ++i)
+        eg.merge(classes[rng.below(classes.size())],
+                 classes[rng.below(classes.size())]);
+      // Occasional random filtering, mimicking out-of-band cycle resolution.
+      if (rng.chance(0.25)) {
+        const Id cls = eg.find(classes[rng.below(classes.size())]);
+        const size_t nodes = eg.eclass(cls).nodes.size();
+        if (nodes > 0) eg.set_filtered(cls, rng.below(nodes));
+      }
+
+      eg.rebuild();
+      inc.sweep_cycles();
+      ASSERT_TRUE(is_acyclic(eg)) << "seed " << seed << " round " << round;
+      inc.advance_epoch();
+
+      const DescendantsMap fresh(eg);
+      const std::vector<Id> canonical = eg.canonical_classes();
+      ASSERT_EQ(under_approximations(inc, fresh, canonical), 0u)
+          << "seed " << seed << " round " << round;
+      ASSERT_EQ(reaches_mismatches(inc, fresh, canonical), 0u)
+          << "seed " << seed << " round " << round;
+    }
+    // The churn is small relative to the graph, so the scoped repair — not
+    // just the fallback — must have carried some epochs.
+    EXPECT_GT(inc.stats().incremental_updates, 0u) << "seed " << seed;
+  }
+}
+
+TEST(CyclesFuzz, RandomRuleSubsetsExploreIdenticallyInBothModes) {
+  const std::vector<Rewrite>& all_rules = default_rules();
+  std::vector<ModelInfo> models = tiny_models();
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 0x5851f42d4c957f2dull);
+    std::vector<Rewrite> rules;
+    for (const Rewrite& r : all_rules)
+      if (rng.chance(0.4)) rules.push_back(r);
+    if (rules.empty()) rules.push_back(all_rules[rng.below(all_rules.size())]);
+    const ModelInfo& m = models[rng.below(models.size())];
+
+    TensatOptions opt;
+    opt.k_max = 2 + static_cast<int>(rng.below(2));
+    opt.k_multi = 1;
+    opt.node_limit = 1500;
+
+    opt.incremental_cycles = false;
+    EGraph fresh = seed_egraph(m.graph);
+    const ExploreStats fresh_stats = run_exploration(fresh, rules, opt);
+    opt.incremental_cycles = true;
+    EGraph inc = seed_egraph(m.graph);
+    const ExploreStats inc_stats = run_exploration(inc, rules, opt);
+
+    EXPECT_EQ(fresh_stats.iterations, inc_stats.iterations)
+        << "seed " << seed << " model " << m.name;
+    EXPECT_EQ(fresh_stats.applications, inc_stats.applications)
+        << "seed " << seed << " model " << m.name;
+    EXPECT_EQ(fresh.num_filtered(), inc.num_filtered())
+        << "seed " << seed << " model " << m.name;
+    EXPECT_EQ(fingerprint(fresh), fingerprint(inc))
+        << "seed " << seed << " model " << m.name << " rules " << rules.size();
+    EXPECT_TRUE(is_acyclic(inc)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tensat

@@ -264,6 +264,47 @@ TEST(ParallelSearch, IdenticalToSerialAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelSearch, TinySweepsSkipThePoolAndStayIdentical) {
+  // Thread spawns cost more than a whole sweep over a seed-sized e-graph
+  // (BENCH_ematch.json's "parallel" section measured 0.53-0.93x before the
+  // dispatch gate existed): sweeps whose work estimate falls below
+  // kMinParallelSearchWork must run serially — observable through the
+  // estimate itself — while returning the same matches as any pool.
+  EGraph eg = seed_egraph(make_nasrnn(1, 4, 32));
+  const MultiPlan plan = build_multi_plan(default_rules());
+  std::vector<const ematch::Program*> progs;
+  for (const CanonicalPattern& cp : plan.patterns) progs.push_back(&cp.program);
+
+  // A seed e-graph (a few dozen classes, a couple dozen patterns) is far
+  // below the threshold: search_all takes the serial path for it.
+  const size_t estimate = ematch::search_work_estimate(eg, progs);
+  EXPECT_LT(estimate, ematch::kMinParallelSearchWork);
+  EXPECT_GT(estimate, 0u);
+
+  const auto serial = ematch::search_all(eg, progs, 1);
+  const auto gated = ematch::search_all(eg, progs, 8);
+  ASSERT_EQ(gated.size(), serial.size());
+  for (size_t p = 0; p < serial.size(); ++p) {
+    ASSERT_EQ(gated[p].size(), serial[p].size()) << "pattern " << p;
+    for (size_t i = 0; i < serial[p].size(); ++i) {
+      EXPECT_EQ(gated[p][i].root, serial[p][i].root);
+      EXPECT_EQ(gated[p][i].subst.bindings(), serial[p][i].subst.bindings());
+    }
+  }
+
+  // The estimate scales with the candidate classes, so a graph with many
+  // root-op candidates crosses the threshold and re-enables the pool.
+  Graph big;
+  const Id x = big.input("x", {8, 8});
+  for (int i = 0; i < 400; ++i) {
+    const Id w = big.weight("w" + std::to_string(i), {8, 8});
+    big.add_root(big.matmul(x, w));
+  }
+  EGraph big_eg = seed_egraph(big);
+  EXPECT_GE(ematch::search_work_estimate(big_eg, progs),
+            ematch::kMinParallelSearchWork);
+}
+
 TEST(ParallelSearch, ExplorationStatsIndependentOfThreadCount) {
   auto explore = [](size_t threads) {
     EGraph eg = seed_egraph(make_bert(1, 8, 64));
