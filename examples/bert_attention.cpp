@@ -9,6 +9,7 @@
 // outputs (paper §6.5), so only ILP realizes the gain.
 #include <cstdio>
 
+#include "extract/engine/engine.h"
 #include "extract/extract.h"
 #include "models/models.h"
 #include "optimizer/optimizer.h"
@@ -39,10 +40,21 @@ int main() {
               explore.cycle_sweep_seconds, explore.seconds);
 
   const ExtractionResult greedy = extract_greedy(eg, model);
-  const IlpExtractionResult ilp = extract_ilp(eg, model, options.ilp);
+  const EngineExtractionResult ilp = extract_engine(eg, model, options.ilp);
   std::printf("greedy extraction: %.1f us\n", greedy.ok ? greedy.cost : -1.0);
   std::printf("ILP extraction   : %.1f us%s\n", ilp.ok ? ilp.cost : -1.0,
               ilp.timed_out ? " (timeout; best incumbent)" : "");
+  std::printf("extract phases: reach %.3fs, reduce %.3fs, lp-build %.3fs, "
+              "solve %.3fs, stitch %.3fs\n",
+              ilp.stats.reach_seconds, ilp.stats.reduce_seconds,
+              ilp.stats.lp_build_seconds, ilp.stats.solve_seconds,
+              ilp.stats.stitch_seconds);
+  std::printf("engine: %zu reachable classes -> %zu forced + %zu free + %zu "
+              "collapsed; %zu cores, largest %zu vars (monolithic instance "
+              "would be one core)\n",
+              ilp.stats.classes_reachable, ilp.stats.classes_forced,
+              ilp.stats.classes_free, ilp.stats.classes_collapsed,
+              ilp.stats.num_cores, ilp.stats.largest_core_vars);
 
   if (ilp.ok) {
     const auto hist = ilp.graph.op_histogram();

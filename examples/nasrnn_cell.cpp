@@ -45,6 +45,12 @@ int main() {
               tensat.explore.search_seconds, tensat.explore.apply_seconds,
               tensat.explore.rebuild_seconds,
               tensat.explore.dmap_seconds + tensat.explore.cycle_sweep_seconds);
+  std::printf("        extract phases: reach %.2fs, reduce %.2fs, lp-build %.2fs, "
+              "solve %.2fs, stitch %.2fs (%zu cores, largest %zu vars)\n",
+              tensat.extract_stats.reach_seconds, tensat.extract_stats.reduce_seconds,
+              tensat.extract_stats.lp_build_seconds,
+              tensat.extract_stats.solve_seconds, tensat.extract_stats.stitch_seconds,
+              tensat.extract_stats.num_cores, tensat.extract_stats.largest_core_vars);
 
   std::printf("\nspeedup over original: TASO %.1f%%, TENSAT %.1f%%\n",
               100.0 * (taso.original_cost - taso.best_cost) / taso.best_cost,

@@ -1,0 +1,471 @@
+#include "extract/engine/engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "extract/engine/problem.h"
+#include "extract/engine/reduce.h"
+#include "extract/engine/scc.h"
+#include "ilp/milp.h"
+#include "support/parallel.h"
+#include "support/timer.h"
+
+namespace tensat {
+namespace {
+
+using exteng::ClassSlot;
+using exteng::kInfCost;
+using exteng::Option;
+using exteng::Problem;
+
+/// One independent MILP ("core"): a connected component of the reduced
+/// dependency graph. Assembled serially, solved in parallel, merged in
+/// member order. The per-class lookup tables are flat arrays indexed by
+/// global class slot (-1 = not in this core), consistent with the
+/// subsystem's slot-indexed design — they sit on the rounding callback's
+/// per-B&B-node path.
+struct Core {
+  explicit Core(size_t num_slots)
+      : first_var(num_slots, -1), var_count(num_slots, 0), topo_var(num_slots, -1) {}
+  std::vector<uint32_t> members;           // class slots, ascending
+  std::vector<uint32_t> decision_vars{};   // parallel arrays: owning class...
+  std::vector<int32_t> decision_option{};  // ...and option index (-1 = pseudo-leaf)
+  LinearProgram lp;
+  std::vector<bool> integral;
+  std::vector<int32_t> first_var;  // class slot -> first var id, -1 if absent
+  std::vector<int32_t> var_count;  // class slot -> its var count
+  std::vector<int32_t> topo_var;   // class slot -> t variable, -1 if none
+  std::vector<uint32_t> forced_members;
+  std::optional<std::vector<double>> warm;
+  MilpResult milp;
+};
+
+/// Turns a per-class choice (class slot -> decision var) into a full LP
+/// point for one core: x = 1 for every class actually needed by the closure
+/// from the core's forced classes, with per-SCC topological values assigned
+/// in dependency (post-) order. `choose` maps a needed member class to its
+/// decision variable, or -1 when it has none (=> nullopt). Mirrors the
+/// monolithic selection_to_x.
+std::optional<std::vector<double>> closure_to_x(
+    const Problem& p, const Core& core, bool cycle_constraints,
+    bool integer_topo_vars, const std::vector<int>& scc_size,
+    const std::function<int(uint32_t)>& choose) {
+  std::vector<double> x(core.lp.num_vars(), 0.0);
+  // Iterative DFS with post-order capture; states: 0 unseen, 1 open, 2 done.
+  std::vector<int8_t> state(p.classes.size(), 0);
+  std::vector<uint32_t> post_order;
+  for (uint32_t seed : core.forced_members) {
+    if (state[seed] == 2) continue;
+    std::vector<uint32_t> stack{seed};
+    while (!stack.empty()) {
+      const uint32_t s = stack.back();
+      if (state[s] != 0) {
+        if (state[s] == 1) {
+          state[s] = 2;
+          post_order.push_back(s);
+        }
+        stack.pop_back();
+        continue;
+      }
+      const int var = choose(s);
+      if (var < 0) return std::nullopt;
+      state[s] = 1;
+      x[var] = 1.0;
+      const ClassSlot& c = p.classes[s];
+      const int32_t opt = core.decision_option[var];
+      if (opt >= 0) {  // pseudo-leaves have no dependencies
+        for (uint32_t child : c.options[opt].children) {
+          const ClassSlot& w = p.classes[child];
+          if (w.removed || w.interior || w.free || w.forced) continue;
+          // A child already open (state 1) means the choice closed a cycle;
+          // the point is still cover-feasible, and under cycle constraints
+          // the caller's feasibility check rejects it — both matching the
+          // monolithic selection_to_x.
+          if (state[child] == 0) stack.push_back(child);
+        }
+      }
+    }
+  }
+  if (cycle_constraints) {
+    std::unordered_map<int32_t, int> rank;  // per-SCC running rank
+    for (uint32_t s : post_order) {
+      const ClassSlot& c = p.classes[s];
+      if (!c.cyclic || core.topo_var[s] < 0) continue;
+      const int r = rank[c.scc]++;
+      const double m = static_cast<double>(scc_size[c.scc]);
+      x[core.topo_var[s]] = integer_topo_vars
+                                ? static_cast<double>(r)
+                                : (static_cast<double>(r) + 1.0) / (2.0 * m);
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
+                                      const ExtractEngineOptions& options) {
+  if (!options.decompose) {
+    EngineExtractionResult result;
+    static_cast<IlpExtractionResult&>(result) = extract_ilp(eg, model, options);
+    return result;
+  }
+
+  EngineExtractionResult result;
+  result.decomposed = true;
+  Timer timer;
+  Timer phase_timer;
+
+  // ---- Reach: flatten the reachable sub-e-graph --------------------------
+  Problem p = Problem::build(eg, model);
+  result.stats.reach_seconds = phase_timer.seconds();
+  result.stats.classes_reachable = p.classes.size();
+  phase_timer.reset();
+
+  // Greedy fallback graph: the REAL extract_greedy, exactly as the
+  // monolithic path computes it, so the cyclic-selection fallback returns
+  // the identical graph on both paths. (The engine's internal DP is not a
+  // substitute: it sums each distinct child class once — the right
+  // semantics for pricing pseudo-leaves, where a class is paid once — while
+  // extract_greedy sums per child occurrence, so their argmins can differ
+  // on classes with duplicated children.)
+  ExtractionResult greedy;
+  if (options.warm_start_with_greedy && p.classes[p.root].dp_cost < kInfCost)
+    greedy = extract_greedy(eg, model);
+  // The warm-start/fallback computation is charged to lp-build, the phase
+  // the monolithic path books it under, so the per-phase breakdown stays
+  // comparable across the two paths.
+  result.stats.lp_build_seconds += phase_timer.seconds();
+  phase_timer.reset();
+
+  // ---- Reduce + condense + collapse --------------------------------------
+  if (p.classes[p.root].dp_cost == kInfCost) {
+    result.milp_status = MilpStatus::kInfeasible;
+    result.solve_seconds = timer.seconds();
+    return result;
+  }
+  exteng::condense_sccs(p);  // cyclic flags gate forced removal
+  exteng::ReduceOptions reduce_opt;
+  reduce_opt.cycle_constraints = options.cycle_constraints;
+  // Free-ness is structural (a zero-cost derivation exists), so it is
+  // decided before forced propagation — otherwise a forced constant inside
+  // a zero-cost tower would block the tower's removal.
+  exteng::ReduceStats rstats;
+  exteng::mark_free(p, rstats);
+  exteng::reduce(p, reduce_opt, rstats);
+  if (rstats.infeasible) {
+    result.stats.reduce_seconds = phase_timer.seconds();
+    result.milp_status = MilpStatus::kInfeasible;
+    result.solve_seconds = timer.seconds();
+    return result;
+  }
+  exteng::condense_sccs(p);  // final SCCs of the reduced graph
+  exteng::collapse_treelike(p, rstats);
+  const size_t num_components = exteng::assign_components(p);
+
+  result.stats.reduce_seconds = phase_timer.seconds();
+  result.stats.classes_forced = rstats.classes_forced;
+  result.stats.classes_free = rstats.classes_free;
+  result.stats.classes_collapsed = rstats.classes_collapsed;
+  result.stats.classes_interior = rstats.classes_interior;
+  result.stats.nodes_pruned_dominated = rstats.nodes_pruned_dominated;
+  result.stats.nodes_pruned_bound = rstats.nodes_pruned_bound;
+  result.stats.base_cost = p.base_cost;
+  phase_timer.reset();
+
+  // ---- Assemble one MILP per core ----------------------------------------
+  std::vector<Core> cores;
+  cores.reserve(num_components);
+  for (size_t k = 0; k < num_components; ++k) cores.emplace_back(p.classes.size());
+  for (size_t s = 0; s < p.classes.size(); ++s) {
+    const int32_t comp = p.classes[s].component;
+    if (comp >= 0) cores[comp].members.push_back(static_cast<uint32_t>(s));
+  }
+
+  // SCC sizes (over core classes) for the per-SCC big-M / epsilon.
+  std::vector<int> scc_size;
+  for (size_t s = 0; s < p.classes.size(); ++s) {
+    const ClassSlot& c = p.classes[s];
+    if (c.scc < 0 || !p.is_core(static_cast<uint32_t>(s))) continue;
+    if (static_cast<size_t>(c.scc) >= scc_size.size())
+      scc_size.resize(static_cast<size_t>(c.scc) + 1, 0);
+    ++scc_size[c.scc];
+  }
+
+  // Per-core refusal threshold: the decomposed analog of the monolithic
+  // max_instance_nodes cap — instance size no longer matters, core size does.
+  size_t vars_total = 0;
+  for (const Core& core : cores) {
+    size_t vars = 0;
+    for (uint32_t s : core.members) {
+      const ClassSlot& c = p.classes[s];
+      vars += c.collapsed ? 1 : p.live_option_count(s);
+    }
+    vars_total += vars;
+    result.stats.largest_core_vars = std::max(result.stats.largest_core_vars, vars);
+  }
+  result.stats.num_cores = num_components;
+  result.stats.milp_vars_total = vars_total;
+  result.num_vars = vars_total;
+  if (result.stats.largest_core_vars > options.max_core_nodes) {
+    result.too_large = true;
+    result.timed_out = true;
+    result.stats.lp_build_seconds += phase_timer.seconds();
+    result.solve_seconds = timer.seconds();
+    return result;
+  }
+
+  size_t rows_total = 0;
+  for (Core& core : cores) {
+    // Decision variables: one per live option, or one per collapsed
+    // pseudo-leaf (priced at its exact incremental DP cost).
+    for (uint32_t s : core.members) {
+      const ClassSlot& c = p.classes[s];
+      core.first_var[s] = core.lp.num_vars();
+      if (c.collapsed) {
+        core.lp.add_var(0.0, 1.0, c.dp_inc_cost);
+        core.integral.push_back(true);
+        core.decision_vars.push_back(s);
+        core.decision_option.push_back(-1);
+        core.var_count[s] = 1;
+      } else {
+        int count = 0;
+        for (size_t k = 0; k < c.options.size(); ++k) {
+          if (c.options[k].pruned) continue;
+          core.lp.add_var(0.0, 1.0, c.options[k].cost);
+          core.integral.push_back(true);
+          core.decision_vars.push_back(s);
+          core.decision_option.push_back(static_cast<int32_t>(k));
+          ++count;
+        }
+        core.var_count[s] = count;
+      }
+      if (c.forced) core.forced_members.push_back(s);
+    }
+    // Topological-order variables: only classes of nontrivial SCCs can lie
+    // on a cycle, so only they get t variables and big-M rows — the cyclic
+    // cores the monolithic constraints (4)-(5) paid for globally.
+    if (options.cycle_constraints) {
+      for (uint32_t s : core.members) {
+        const ClassSlot& c = p.classes[s];
+        if (!c.cyclic) continue;
+        const double m = static_cast<double>(scc_size[c.scc]);
+        const double hi = options.integer_topo_vars ? std::max(m - 1.0, 0.0) : 1.0;
+        core.topo_var[s] = core.lp.add_var(0.0, hi, 0.0);
+        core.integral.push_back(options.integer_topo_vars);
+      }
+    }
+
+    // Selection rows: forced classes must pick exactly one; others at most
+    // one (which also tightens the LP relaxation, as in the monolithic).
+    for (uint32_t s : core.members) {
+      const ClassSlot& c = p.classes[s];
+      const int first = core.first_var[s];
+      const int count = core.var_count[s];
+      if (count == 0) continue;
+      if (c.forced) {
+        std::vector<std::pair<int, double>> terms;
+        for (int v = first; v < first + count; ++v) terms.emplace_back(v, 1.0);
+        core.lp.add_row(std::move(terms), 1.0, 1.0);
+      } else if (count >= 2) {
+        std::vector<std::pair<int, double>> terms;
+        for (int v = first; v < first + count; ++v) terms.emplace_back(v, 1.0);
+        core.lp.add_row(std::move(terms), -kInf, 1.0);
+      }
+    }
+
+    // Cover rows, aggregated per (parent class, child class), and the
+    // topological-order rows for intra-SCC edges. Children that are forced
+    // (selected anyway), free (zero-cost, selectable at will), removed, or
+    // interior impose no cover.
+    std::unordered_map<uint32_t, std::vector<int>> child_to_parents;
+    for (uint32_t s : core.members) {
+      const ClassSlot& c = p.classes[s];
+      if (c.collapsed) continue;  // pseudo-leaf: subtree handled by DP
+      child_to_parents.clear();
+      const int first = core.first_var[s];
+      int var = first;
+      for (size_t k = 0; k < c.options.size(); ++k) {
+        if (c.options[k].pruned) continue;
+        const int this_var = var++;
+        for (uint32_t child : c.options[k].children) {
+          const ClassSlot& w = p.classes[child];
+          if (w.removed || w.interior || w.free) continue;
+          if (options.cycle_constraints && w.cyclic && c.cyclic && w.scc == c.scc) {
+            // t_c - t_w - A*x >= (eps or 1) - A, per intra-SCC edge.
+            const double m = static_cast<double>(scc_size[c.scc]);
+            const double eps = 1.0 / (2.0 * m);
+            const double big_a = options.integer_topo_vars ? m : 2.0;
+            const double rhs = (options.integer_topo_vars ? 1.0 : eps) - big_a;
+            core.lp.add_row({{core.topo_var[s], 1.0},
+                             {core.topo_var[child], -1.0},
+                             {this_var, -big_a}},
+                            rhs, kInf);
+          }
+          if (w.forced) continue;  // cover vacuous: child picked regardless
+          child_to_parents[child].push_back(this_var);
+        }
+      }
+      for (const auto& [child, parent_vars] : child_to_parents) {
+        std::vector<std::pair<int, double>> terms;
+        for (int v : parent_vars) terms.emplace_back(v, 1.0);
+        const int cfirst = core.first_var[child];
+        const int ccount = core.var_count[child];
+        for (int v = cfirst; v < cfirst + ccount; ++v) terms.emplace_back(v, -1.0);
+        core.lp.add_row(std::move(terms), -kInf, 0.0);
+      }
+    }
+    rows_total += core.lp.rows.size();
+
+    // Warm start: the DP (greedy) selection restricted to this core.
+    if (options.warm_start_with_greedy) {
+      auto choose_dp = [&](uint32_t s) -> int {
+        const ClassSlot& c = p.classes[s];
+        if (c.collapsed) return core.first_var[s];
+        if (c.dp_inc_choice < 0) return -1;
+        int var = core.first_var[s];
+        for (size_t k = 0; k < c.options.size(); ++k) {
+          if (c.options[k].pruned) continue;
+          if (static_cast<int32_t>(k) == c.dp_inc_choice) return var;
+          ++var;
+        }
+        return -1;
+      };
+      auto x = closure_to_x(p, core, options.cycle_constraints,
+                            options.integer_topo_vars, scc_size, choose_dp);
+      if (x && core.lp.feasible(*x, 1e-6)) core.warm = std::move(x);
+    }
+  }
+  result.num_rows = rows_total;
+  result.stats.lp_build_seconds += phase_timer.seconds();
+  phase_timer.reset();
+
+  // ---- Solve the cores in parallel, merge in core order ------------------
+  MilpOptions milp_opt_base;
+  milp_opt_base.rel_gap = options.rel_gap;
+  // Dispatch gate (the kMinParallelSearchWork lesson): spawning workers for
+  // a handful of tiny MILPs costs more than solving them, so the DEFAULT
+  // (core_threads == 0) solves small instances on the calling thread —
+  // identical results either way. An explicit thread count is honored
+  // unconditionally, so tests and sanitizer jobs can force the pooled path.
+  size_t core_threads = options.core_threads;
+  if (core_threads == 0 && (cores.size() <= 1 || vars_total < 512))
+    core_threads = 1;
+  parallel_for(cores.size(), core_threads, [&](size_t k) {
+    Core& core = cores[k];
+    MilpOptions milp_opt = milp_opt_base;
+    // time_limit_s is a TOTAL extraction budget, as it was for the
+    // monolithic path: each core gets what is left on the shared wall
+    // clock when its solve starts, so queued cores cannot stack N full
+    // budgets. A core starting at (or past) the deadline times out
+    // immediately, keeping its warm-start incumbent if it has one.
+    milp_opt.time_limit_s =
+        std::max(0.0, options.time_limit_s - timer.seconds());
+    // LP-guided rounding, mirroring the monolithic: per class the largest
+    // fractional variable, DP choice as fallback, closed under dependencies.
+    milp_opt.rounding = [&](const std::vector<double>& xfrac)
+        -> std::optional<std::vector<double>> {
+      auto choose_rounded = [&](uint32_t s) -> int {
+        const int first = core.first_var[s];
+        const int count = core.var_count[s];
+        int best = -1;
+        double best_value = 1e-6;
+        for (int v = first; v < first + count; ++v) {
+          if (xfrac[v] > best_value) {
+            best_value = xfrac[v];
+            best = v;
+          }
+        }
+        if (best >= 0) return best;
+        const ClassSlot& c = p.classes[s];
+        if (c.collapsed) return first;
+        if (c.dp_inc_choice < 0) return -1;
+        int var = first;
+        for (size_t j = 0; j < c.options.size(); ++j) {
+          if (c.options[j].pruned) continue;
+          if (static_cast<int32_t>(j) == c.dp_inc_choice) return var;
+          ++var;
+        }
+        return -1;
+      };
+      return closure_to_x(p, core, options.cycle_constraints,
+                          options.integer_topo_vars, scc_size, choose_rounded);
+    };
+    core.milp = solve_milp(core.lp, core.integral, milp_opt, core.warm);
+  });
+  result.stats.solve_seconds = phase_timer.seconds();
+  phase_timer.reset();
+
+  // Aggregate solver outcomes: optimal only if every core proved optimal;
+  // a core with an incumbent but no proof degrades the whole result to
+  // feasible; no incumbent anywhere, or an infeasible core, fails it.
+  result.milp_status = MilpStatus::kOptimal;
+  double bound = p.base_cost;
+  for (const Core& core : cores) {
+    result.timed_out = result.timed_out || core.milp.timed_out;
+    result.bb_nodes += core.milp.nodes_explored;
+    result.lp_iterations += core.milp.lp_iterations;
+    if (core.milp.status == MilpStatus::kInfeasible)
+      result.milp_status = MilpStatus::kInfeasible;
+    else if (core.milp.status == MilpStatus::kNoSolution &&
+             result.milp_status != MilpStatus::kInfeasible)
+      result.milp_status = MilpStatus::kNoSolution;
+    else if (core.milp.status == MilpStatus::kFeasible &&
+             result.milp_status == MilpStatus::kOptimal)
+      result.milp_status = MilpStatus::kFeasible;
+    bound += core.milp.best_bound;
+  }
+  result.best_bound = bound;
+  result.solve_seconds = result.stats.solve_seconds;
+  if (result.milp_status != MilpStatus::kOptimal &&
+      result.milp_status != MilpStatus::kFeasible) {
+    return result;
+  }
+
+  // ---- Stitch: per-core selections + DP expansions -> one Graph ----------
+  std::unordered_map<Id, TNode> selection;
+  for (const ClassSlot& c : p.classes) {
+    if (!c.reachable) continue;
+    if (c.removed && !c.collapsed) {
+      for (const Option& o : c.options)
+        if (!o.pruned) selection.emplace(c.id, *o.node);
+    } else if (c.free) {
+      selection.emplace(c.id, *c.options[c.free_choice].node);
+    } else if (c.interior || (c.removed && c.collapsed)) {
+      if (c.dp_inc_choice >= 0)
+        selection.emplace(c.id, *c.options[c.dp_inc_choice].node);
+    }
+  }
+  for (const Core& core : cores) {
+    for (size_t v = 0; v < core.decision_vars.size(); ++v) {
+      if (core.milp.x[v] <= 0.5) continue;
+      const ClassSlot& c = p.classes[core.decision_vars[v]];
+      const int32_t opt = core.decision_option[v];
+      if (opt >= 0) {
+        selection.emplace(c.id, *c.options[opt].node);
+      } else if (c.dp_inc_choice >= 0) {  // selected pseudo-leaf
+        selection.emplace(c.id, *c.options[c.dp_inc_choice].node);
+      }
+    }
+  }
+  auto graph = build_selected_graph(eg, eg.root(), selection);
+  if (!graph.has_value()) {
+    result.cyclic_selection = true;
+    result.stats.stitch_seconds = phase_timer.seconds();
+    if (greedy.ok) {  // best known feasible solution, as in the monolithic
+      result.graph = std::move(greedy.graph);
+      result.cost = greedy.cost;
+      result.ok = true;
+    }
+    return result;
+  }
+  result.graph = std::move(*graph);
+  result.graph.single_root();
+  result.cost = graph_cost(result.graph, model);
+  result.ok = true;
+  result.stats.stitch_seconds = phase_timer.seconds();
+  return result;
+}
+
+}  // namespace tensat

@@ -1,0 +1,60 @@
+// The extraction engine (paper §5 at scale): a staged replacement for the
+// monolithic "build one giant ILP over every reachable e-node, solve"
+// extraction path, which mirrors the paper's >1-hour SCIP timeouts with a
+// hard max_instance_nodes refusal. The engine instead runs
+//
+//   reach -> reduce -> condense -> per-core MILPs (parallel) -> stitch
+//
+//  1. Reduction passes (extract/engine/reduce.h): forced-choice propagation,
+//     cost-dominance pruning, greedy-incumbent-bound pruning, infeasibility
+//     propagation — exact presolve that typically removes most variables.
+//  2. Dependency condensation (extract/engine/scc.h): Tarjan SCCs of the
+//     class-dependency graph. Exclusive tree-like regions are solved exactly
+//     by bottom-up DP and collapse to pseudo-leaves; the paper's acyclicity
+//     constraints (4)-(5) are emitted only inside nontrivial SCCs; the
+//     residual splits into independent components ("cores").
+//  3. Per-core branch & bound (ilp/milp.h) over the support/parallel.h pool,
+//     merged deterministically, then one stitched global selection.
+//
+// The monolithic path survives as ExtractEngineOptions::decompose = false —
+// the differential oracle (tests/extract_test.cpp, tests/extract_fuzz_test
+// .cpp pin exact-cost parity on every instance both paths solve), following
+// the same convention as search_pattern_naive and staged_apply = false.
+#pragma once
+
+#include "extract/extract.h"
+
+namespace tensat {
+
+struct ExtractEngineOptions : IlpExtractOptions {
+  /// True (default) runs the staged reduce/condense/per-core pipeline.
+  /// False delegates to the monolithic extract_ilp — identical behavior to
+  /// the pre-engine code path, kept as the differential baseline.
+  bool decompose = true;
+  /// Per-core refusal threshold on decision variables, replacing the
+  /// monolithic max_instance_nodes (which the engine deliberately ignores
+  /// when decomposing: the whole point is that total instance size no longer
+  /// bounds what is solvable — only the largest residual core does).
+  size_t max_core_nodes = 2600;
+  /// Worker threads for the per-core MILP solves. 0 (default) = one per
+  /// hardware thread, except that single-core or tiny instances solve on
+  /// the calling thread (thread spawns would cost more than the solves);
+  /// an explicit count is honored unconditionally. Any value produces the
+  /// same result: cores are independent, each solve is deterministic, and
+  /// results merge in core order.
+  size_t core_threads = 0;
+};
+
+struct EngineExtractionResult : IlpExtractionResult {
+  /// True when the decomposing pipeline ran (false = monolithic delegate).
+  bool decomposed{false};
+};
+
+/// ILP extraction from the e-graph's root class through the engine.
+/// Semantics match extract_ilp: greedy warm starts and fallbacks, timeout
+/// and too-large reporting, cyclic-selection fallback; `stats` carries the
+/// per-phase breakdown either way.
+EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
+                                      const ExtractEngineOptions& options = {});
+
+}  // namespace tensat

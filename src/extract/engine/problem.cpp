@@ -1,0 +1,195 @@
+#include "extract/engine/problem.h"
+
+#include <algorithm>
+
+namespace tensat {
+namespace exteng {
+
+Problem Problem::build(const EGraph& eg, const CostModel& model) {
+  Problem p;
+  p.eg = &eg;
+  p.model = &model;
+
+  // DFS the reachable classes; canonical ids are dense in [0, num_ids()),
+  // so slot lookup is a flat array.
+  std::vector<int32_t> slot(eg.num_ids(), -1);
+  std::vector<Id> order;
+  std::vector<Id> stack{eg.find(eg.root())};
+  while (!stack.empty()) {
+    const Id cls = stack.back();
+    stack.pop_back();
+    if (slot[cls] >= 0) continue;
+    slot[cls] = static_cast<int32_t>(order.size());
+    order.push_back(cls);
+    for (const EClassNode& e : eg.eclass(cls).nodes) {
+      if (e.filtered) continue;
+      for (Id c : e.node.children) {
+        const Id canon = eg.find(c);
+        if (slot[canon] < 0) stack.push_back(canon);
+      }
+    }
+  }
+
+  p.classes.resize(order.size());
+  p.root = 0;  // eg.root() is the DFS seed, so it lands in slot 0
+  for (size_t s = 0; s < order.size(); ++s) {
+    ClassSlot& cs = p.classes[s];
+    cs.id = order[s];
+    for (const EClassNode& e : eg.eclass(order[s]).nodes) {
+      if (e.filtered) continue;
+      Option o;
+      o.node = &e.node;
+      o.cost = enode_cost(eg, order[s], e.node, model);
+      for (Id c : e.node.children) {
+        const uint32_t child = static_cast<uint32_t>(slot[eg.find(c)]);
+        o.children.push_back(child);
+      }
+      std::sort(o.children.begin(), o.children.end());
+      o.children.erase(std::unique(o.children.begin(), o.children.end()),
+                       o.children.end());
+      cs.options.push_back(std::move(o));
+    }
+  }
+  p.recompute_parents();
+  p.recompute_dp();
+  return p;
+}
+
+void Problem::recompute_parents() {
+  for (ClassSlot& c : classes) c.parents.clear();
+  for (size_t s = 0; s < classes.size(); ++s) {
+    const ClassSlot& c = classes[s];
+    if (!c.reachable || c.removed || c.interior || c.free) continue;
+    for (const Option& o : c.options) {
+      if (o.pruned) continue;
+      for (uint32_t child : o.children) {
+        const ClassSlot& w = classes[child];
+        if (!w.reachable || w.removed || w.interior || w.free) continue;
+        classes[child].parents.push_back(static_cast<uint32_t>(s));
+      }
+    }
+  }
+  for (ClassSlot& c : classes) {
+    std::sort(c.parents.begin(), c.parents.end());
+    c.parents.erase(std::unique(c.parents.begin(), c.parents.end()),
+                    c.parents.end());
+  }
+}
+
+void Problem::recompute_dp() {
+  const size_t n = classes.size();
+  for (ClassSlot& c : classes) {
+    c.dp_cost = kInfCost;
+    c.dp_choice = -1;
+    c.dp_inc_cost = kInfCost;
+    c.dp_inc_choice = -1;
+  }
+  // Parents over *all* live options (including removed classes — their
+  // interior still needs DP values for stitching), independent of the
+  // constraint-oriented parents index.
+  std::vector<std::vector<uint32_t>> up(n);
+  for (size_t s = 0; s < n; ++s) {
+    if (!classes[s].reachable) continue;
+    for (const Option& o : classes[s].options) {
+      if (o.pruned) continue;
+      for (uint32_t child : o.children) up[child].push_back(static_cast<uint32_t>(s));
+    }
+  }
+  for (std::vector<uint32_t>& u : up) {
+    std::sort(u.begin(), u.end());
+    u.erase(std::unique(u.begin(), u.end()), u.end());
+  }
+
+  std::vector<char> queued(n, 0);
+  std::vector<uint32_t> work;
+  work.reserve(n);
+  // Deepest-first seed: slots were assigned in root-first DFS order and the
+  // worklist pops from the back, so pushing in slot order settles most
+  // classes on their first evaluation.
+  for (size_t s = 0; s < n; ++s) {
+    if (!classes[s].reachable) continue;
+    work.push_back(static_cast<uint32_t>(s));
+    queued[s] = 1;
+  }
+  while (!work.empty()) {
+    const uint32_t s = work.back();
+    work.pop_back();
+    queued[s] = 0;
+    ClassSlot& c = classes[s];
+    double best = kInfCost, best_inc = kInfCost;
+    int32_t choice = -1, choice_inc = -1;
+    for (size_t k = 0; k < c.options.size(); ++k) {
+      const Option& o = c.options[k];
+      if (o.pruned) continue;
+      double total = o.cost, total_inc = o.cost;
+      for (uint32_t child : o.children) {
+        const ClassSlot& w = classes[child];
+        if (total < kInfCost) {
+          total = (w.dp_cost == kInfCost) ? kInfCost : total + w.dp_cost;
+        }
+        if (total_inc < kInfCost && !w.forced) {
+          total_inc =
+              (w.dp_inc_cost == kInfCost) ? kInfCost : total_inc + w.dp_inc_cost;
+        }
+      }
+      if (total < best - 1e-12) {
+        best = total;
+        choice = static_cast<int32_t>(k);
+      }
+      if (total_inc < best_inc - 1e-12) {
+        best_inc = total_inc;
+        choice_inc = static_cast<int32_t>(k);
+      }
+    }
+    bool improved = false;
+    if (best < c.dp_cost - 1e-12) {
+      c.dp_cost = best;
+      c.dp_choice = choice;
+      improved = true;
+    }
+    if (best_inc < c.dp_inc_cost - 1e-12) {
+      c.dp_inc_cost = best_inc;
+      c.dp_inc_choice = choice_inc;
+      improved = true;
+    }
+    if (improved) {
+      for (uint32_t parent : up[s]) {
+        if (!queued[parent] && classes[parent].reachable) {
+          queued[parent] = 1;
+          work.push_back(parent);
+        }
+      }
+    }
+  }
+}
+
+size_t Problem::recompute_reachable() {
+  const size_t n = classes.size();
+  std::vector<char> seen(n, 0);
+  std::vector<uint32_t> stack{root};
+  seen[root] = 1;
+  while (!stack.empty()) {
+    const uint32_t s = stack.back();
+    stack.pop_back();
+    for (const Option& o : classes[s].options) {
+      if (o.pruned) continue;
+      for (uint32_t child : o.children) {
+        if (!seen[child]) {
+          seen[child] = 1;
+          stack.push_back(child);
+        }
+      }
+    }
+  }
+  size_t dropped = 0;
+  for (size_t s = 0; s < n; ++s) {
+    if (classes[s].reachable && !seen[s]) {
+      classes[s].reachable = false;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace exteng
+}  // namespace tensat

@@ -1,0 +1,126 @@
+// The extraction engine's working representation of one extraction instance
+// (extract/engine/engine.h is the front door). The reachable sub-e-graph is
+// flattened into slot-indexed arrays — one ClassSlot per reachable e-class,
+// one Option per unfiltered e-node — so every later pass (reductions, SCC
+// condensation, tree-like collapse, per-core MILP assembly, stitching) is
+// plain index arithmetic instead of hash-map chasing.
+//
+// Lifecycle: Problem::build() snapshots the e-graph; the reduction passes
+// (reduce.h) prune options and mark classes forced/removed/collapsed/
+// interior; the condensation (scc.h) fills scc/cyclic/component; the engine
+// then assembles one MILP per component. The e-graph itself is never
+// mutated and must outlive the Problem (Option::node points into it).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cost/cost.h"
+#include "egraph/egraph.h"
+
+namespace tensat {
+namespace exteng {
+
+inline constexpr double kInfCost = std::numeric_limits<double>::infinity();
+inline constexpr uint32_t kNoSlot = UINT32_MAX;
+
+/// One unfiltered e-node of a reachable class: its cost under the engine's
+/// cost model and its distinct child class slots (canonicalized, sorted).
+struct Option {
+  const TNode* node{nullptr};
+  double cost{0.0};
+  std::vector<uint32_t> children;  // distinct child slots, sorted ascending
+  bool pruned{false};
+};
+
+/// One reachable e-class. The boolean flags partition the classes by how the
+/// engine disposes of them:
+///   * removed   — forced constant: selected in every solution and down to a
+///                 single live option; cost folded into Problem::base_cost.
+///   * collapsed — tree-like pseudo-leaf: its whole subtree is exclusive and
+///                 sharing-free, so exact bottom-up DP solves it; the MILP
+///                 sees one variable of cost dp_cost and no child edges.
+///   * free      — has a zero-cost option whose children are all free
+///                 (bottom-up fixpoint, so cyclic derivations never qualify):
+///                 selectable at will at zero cost, so it is dropped from the
+///                 MILP and from parents' cover rows entirely. Generalizes
+///                 the old free_class presolve to multi-e-node classes and
+///                 shared parents.
+///   * interior  — strictly inside some collapsed region; reconstructed from
+///                 dp_choice during stitching, invisible to the MILP.
+/// A class none of these apply to is a *core* class and gets one MILP
+/// variable per live option.
+struct ClassSlot {
+  Id id{kInvalidId};               // canonical e-class id
+  std::vector<Option> options;
+  std::vector<uint32_t> parents;   // distinct slots referencing this class
+  bool reachable{true};
+  bool forced{false};
+  bool removed{false};
+  bool collapsed{false};
+  bool free{false};
+  bool interior{false};
+  int32_t scc{-1};                 // SCC index in children-first order
+  bool cyclic{false};              // member of a nontrivial SCC (or self-loop)
+  int32_t component{-1};           // independent-subproblem index, -1 = none
+  /// Full greedy best-subtree cost (sharing ignored): the infeasibility
+  /// signal (kInfCost <=> unextractable) and the incumbent-prune bound.
+  double dp_cost{kInfCost};
+  int32_t dp_choice{-1};           // index into options attaining dp_cost
+  /// Incremental best-subtree cost: like dp_cost but forced classes
+  /// contribute 0 — they are selected (and paid) in every solution, so the
+  /// cost of *additionally* selecting this class excludes them. This is the
+  /// exact pseudo-leaf cost for collapsed tree-like regions.
+  double dp_inc_cost{kInfCost};
+  int32_t dp_inc_choice{-1};
+  /// For free classes: the zero-cost option whose children are all free —
+  /// the selection stitching expands (its closure stays inside the free set,
+  /// which is acyclic by construction).
+  int32_t free_choice{-1};
+};
+
+struct Problem {
+  const EGraph* eg{nullptr};
+  const CostModel* model{nullptr};
+  std::vector<ClassSlot> classes;
+  uint32_t root{0};
+  /// Constant cost of the forced classes removed from the decision problem.
+  double base_cost{0.0};
+
+  /// Snapshots the sub-e-graph reachable from eg.root() through unfiltered
+  /// e-nodes. The returned problem has parents and dp filled.
+  static Problem build(const EGraph& eg, const CostModel& model);
+
+  /// True for classes the MILP still has to decide about.
+  [[nodiscard]] bool is_core(uint32_t s) const {
+    const ClassSlot& c = classes[s];
+    return c.reachable && !c.removed && !c.interior && !c.free;
+  }
+
+  /// Recomputes the parents index over live options of reachable classes.
+  /// Edges into removed/interior classes are not indexed (they carry no
+  /// constraints), edges into collapsed classes are.
+  void recompute_parents();
+
+  /// Worklist fixpoint of the greedy best-subtree DP over live options
+  /// (sharing ignored, so dp_cost is an upper bound in general and exact on
+  /// tree-like regions). Fills dp_cost/dp_choice for every reachable class.
+  void recompute_dp();
+
+  /// Re-marks reachability from the root after pruning: traversal follows
+  /// live options (the single live option for removed classes). Classes no
+  /// longer reachable are excluded from every later pass. Returns the number
+  /// of classes that flipped to unreachable.
+  size_t recompute_reachable();
+
+  [[nodiscard]] size_t live_option_count(uint32_t s) const {
+    size_t n = 0;
+    for (const Option& o : classes[s].options)
+      if (!o.pruned) ++n;
+    return n;
+  }
+};
+
+}  // namespace exteng
+}  // namespace tensat

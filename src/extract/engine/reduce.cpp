@@ -1,0 +1,284 @@
+#include "extract/engine/reduce.h"
+
+#include <algorithm>
+
+namespace tensat {
+namespace exteng {
+namespace {
+
+/// True if a (sorted, distinct) is a subset of b (sorted, distinct).
+bool subset_of(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// Forced propagation: root forced; a class is forced when a forced class's
+/// every live option references it; forced single-option classes become
+/// constants (removed). Returns true if anything changed.
+bool propagate_forced(Problem& p, const ReduceOptions& options, ReduceStats& stats) {
+  bool changed = false;
+  p.classes[p.root].forced = true;
+  // Fixpoint over forced discovery; cheap because forcing only spreads
+  // downward and each class flips at most twice (forced, then removed).
+  bool local_changed = true;
+  while (local_changed) {
+    local_changed = false;
+    for (size_t s = 0; s < p.classes.size(); ++s) {
+      ClassSlot& c = p.classes[s];
+      // Free classes carry no rows and stitch through free_choice, so they
+      // neither propagate forcing nor need the constant-removal treatment.
+      if (!c.reachable || !c.forced || c.free) continue;
+      // Children referenced by EVERY live option are forced too.
+      const Option* first_live = nullptr;
+      size_t live = 0;
+      for (const Option& o : c.options) {
+        if (o.pruned) continue;
+        ++live;
+        if (first_live == nullptr) first_live = &o;
+      }
+      if (live == 0) continue;  // infeasible; caught by dp propagation
+      for (uint32_t child : first_live->children) {
+        bool in_all = true;
+        for (const Option& o : c.options) {
+          if (o.pruned || &o == first_live) continue;
+          if (!std::binary_search(o.children.begin(), o.children.end(), child)) {
+            in_all = false;
+            break;
+          }
+        }
+        ClassSlot& w = p.classes[child];
+        if (in_all && !w.forced) {
+          w.forced = true;
+          local_changed = true;
+          changed = true;
+        }
+      }
+      // Forced + single live option = constant. Under cycle constraints a
+      // potentially-cyclic class must keep its variable (its topological-
+      // order rows are what forbids selections through its cycle).
+      if (!c.removed && live == 1 && s != p.root &&
+          !(options.cycle_constraints && c.cyclic)) {
+        c.removed = true;
+        p.base_cost += first_live->cost;
+        ++stats.classes_forced;
+        local_changed = true;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+/// Cost-dominance: within each class prune options whose child-class set is
+/// a (non-strict) superset of a live sibling's at equal-or-higher cost.
+size_t prune_dominated(Problem& p) {
+  size_t pruned = 0;
+  for (size_t s = 0; s < p.classes.size(); ++s) {
+    ClassSlot& c = p.classes[s];
+    if (!c.reachable || c.removed || c.free) continue;  // free_choice must stay
+    for (size_t a = 0; a < c.options.size(); ++a) {
+      if (c.options[a].pruned) continue;
+      for (size_t b = 0; b < c.options.size(); ++b) {
+        if (b == a || c.options[b].pruned) continue;
+        const Option& oa = c.options[a];
+        const Option& ob = c.options[b];
+        if (!subset_of(ob.children, oa.children)) continue;
+        // Tie-break on equal cost + equal child set: keep the earlier
+        // option, matching the monolithic presolve's first-cheapest rule.
+        const bool cheaper = ob.cost < oa.cost - 1e-12;
+        const bool tie = !cheaper && ob.cost <= oa.cost + 1e-12 && b < a;
+        if (cheaper || tie) {
+          c.options[a].pruned = true;
+          ++pruned;
+          break;
+        }
+      }
+    }
+  }
+  return pruned;
+}
+
+/// Incumbent-bound pruning: prune option a when a live sibling b has
+/// cost(b) + sum of b's children's dp bounds <= cost(a). Unsound under
+/// cycle constraints (the greedy completion could close a cycle), so the
+/// caller gates it. Requires dp to be current.
+size_t prune_by_bound(Problem& p) {
+  size_t pruned = 0;
+  for (size_t s = 0; s < p.classes.size(); ++s) {
+    ClassSlot& c = p.classes[s];
+    if (!c.reachable || c.removed || c.free) continue;  // free_choice must stay
+    for (size_t a = 0; a < c.options.size(); ++a) {
+      if (c.options[a].pruned) continue;
+      for (size_t b = 0; b < c.options.size(); ++b) {
+        if (b == a || c.options[b].pruned) continue;
+        const Option& ob = c.options[b];
+        double ub = ob.cost;
+        for (uint32_t child : ob.children) {
+          const double cc = p.classes[child].dp_cost;
+          if (cc == kInfCost) {
+            ub = kInfCost;
+            break;
+          }
+          ub += cc;
+        }
+        // Any solution using a pays at least cost(a) for it; replacing a
+        // with b plus greedy subtrees for b's children costs at most ub.
+        if (ub < kInfCost && ub <= c.options[a].cost) {
+          c.options[a].pruned = true;
+          ++pruned;
+          break;
+        }
+      }
+    }
+  }
+  return pruned;
+}
+
+/// Prune options referencing classes with no finite extraction (the cover
+/// rows would have pinned those variables to zero).
+size_t prune_infeasible_refs(Problem& p) {
+  size_t pruned = 0;
+  for (size_t s = 0; s < p.classes.size(); ++s) {
+    ClassSlot& c = p.classes[s];
+    if (!c.reachable) continue;
+    for (Option& o : c.options) {
+      if (o.pruned) continue;
+      for (uint32_t child : o.children) {
+        if (p.classes[child].dp_cost == kInfCost) {
+          o.pruned = true;
+          ++pruned;
+          break;
+        }
+      }
+    }
+  }
+  return pruned;
+}
+
+}  // namespace
+
+void reduce(Problem& p, const ReduceOptions& options, ReduceStats& stats) {
+  // Each round prunes at least one option or removes at least one class, so
+  // the loop is bounded by the live option count; in practice 2-3 rounds.
+  for (;;) {
+    bool changed = propagate_forced(p, options, stats);
+    const size_t dominated = prune_dominated(p);
+    stats.nodes_pruned_dominated += dominated;
+    size_t bound = 0;
+    if (!options.cycle_constraints) {
+      bound = prune_by_bound(p);
+      stats.nodes_pruned_bound += bound;
+    }
+    const size_t infeasible = prune_infeasible_refs(p);
+    changed = changed || dominated > 0 || bound > 0 || infeasible > 0;
+    if (!changed) break;
+    p.recompute_reachable();
+    p.recompute_dp();
+    if (p.classes[p.root].dp_cost == kInfCost) {
+      stats.infeasible = true;
+      return;
+    }
+  }
+  p.recompute_parents();
+}
+
+void mark_free(Problem& p, ReduceStats& stats) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t s = 0; s < p.classes.size(); ++s) {
+      ClassSlot& c = p.classes[s];
+      // Forced classes may be free too: "selected in every solution" and
+      // "selectable at will at zero cost" compose — the class simply needs
+      // no variable and no "= 1" row, and stitching expands free_choice
+      // (never a cyclic member, so the removal stays safe under cycle
+      // constraints). Only already-removed constants are skipped.
+      if (!c.reachable || c.free || c.removed) continue;
+      for (size_t k = 0; k < c.options.size(); ++k) {
+        const Option& o = c.options[k];
+        if (o.pruned || o.cost != 0.0) continue;
+        bool children_free = true;
+        for (uint32_t child : o.children) {
+          if (!p.classes[child].free) {
+            children_free = false;
+            break;
+          }
+        }
+        if (children_free) {
+          c.free = true;
+          c.free_choice = static_cast<int32_t>(k);
+          ++stats.classes_free;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  p.recompute_parents();
+}
+
+void collapse_treelike(Problem& p, ReduceStats& stats) {
+  const size_t n = p.classes.size();
+  // treelike(c): not cyclic, and every child is itself treelike with exactly
+  // one parent class. Children-first evaluation: classes sorted by SCC index
+  // ascending is reverse topological order of the condensation.
+  std::vector<uint32_t> by_scc;
+  by_scc.reserve(n);
+  for (size_t s = 0; s < n; ++s)
+    if (p.is_core(static_cast<uint32_t>(s))) by_scc.push_back(static_cast<uint32_t>(s));
+  std::sort(by_scc.begin(), by_scc.end(), [&](uint32_t a, uint32_t b) {
+    return p.classes[a].scc < p.classes[b].scc;
+  });
+
+  std::vector<char> treelike(n, 0);
+  for (uint32_t s : by_scc) {
+    const ClassSlot& c = p.classes[s];
+    if (c.cyclic || c.dp_inc_cost == kInfCost) continue;
+    bool ok = true;
+    for (const Option& o : c.options) {
+      if (o.pruned) continue;
+      for (uint32_t child : o.children) {
+        const ClassSlot& w = p.classes[child];
+        // Forced children (removed constants included) are selected and paid
+        // in every solution, and free children are selectable at will at
+        // zero cost: neither joins the region nor blocks its exclusivity.
+        if (w.removed || w.forced || w.free) continue;
+        if (!treelike[child] || w.parents.size() != 1) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+    }
+    treelike[s] = ok ? 1 : 0;
+  }
+
+  // Tops: treelike classes that are not interior of a larger treelike
+  // region. Interior: exactly one parent class, and that parent is treelike.
+  // Forced classes are never interior — they must be selected even when the
+  // region top is not.
+  for (uint32_t s : by_scc) {
+    ClassSlot& c = p.classes[s];
+    if (!treelike[s] || c.removed) continue;
+    const bool is_interior = !c.forced && s != p.root && c.parents.size() == 1 &&
+                             treelike[c.parents[0]];
+    if (is_interior) {
+      c.interior = true;
+      ++stats.classes_interior;
+      continue;
+    }
+    // Top of a maximal treelike region, priced at its exact incremental DP
+    // cost. A forced top folds into the constant base cost; otherwise it
+    // becomes a pseudo-leaf variable.
+    c.collapsed = true;
+    ++stats.classes_collapsed;
+    if (c.forced) {
+      p.base_cost += c.dp_inc_cost;
+      c.removed = true;
+      ++stats.classes_forced;
+    }
+  }
+  p.recompute_parents();
+}
+
+}  // namespace exteng
+}  // namespace tensat

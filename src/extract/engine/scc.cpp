@@ -1,0 +1,145 @@
+#include "extract/engine/scc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tensat {
+namespace exteng {
+
+void condense_sccs(Problem& p) {
+  const size_t n = p.classes.size();
+  for (ClassSlot& c : p.classes) {
+    c.scc = -1;
+    c.cyclic = false;
+  }
+
+  // Iterative Tarjan over core classes (collapsed classes are core until the
+  // collapse pass runs; their subtrees are tree-shaped anyway).
+  std::vector<int32_t> index(n, -1);
+  std::vector<int32_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<uint32_t> scc_stack;
+  int32_t next_index = 0;
+  int32_t next_scc = 0;
+
+  struct Frame {
+    uint32_t slot;
+    uint32_t option{0};
+    uint32_t child{0};
+  };
+  std::vector<Frame> dfs;
+
+  for (size_t start = 0; start < n; ++start) {
+    if (!p.is_core(static_cast<uint32_t>(start)) || index[start] >= 0) continue;
+    dfs.push_back(Frame{static_cast<uint32_t>(start)});
+    index[start] = lowlink[start] = next_index++;
+    scc_stack.push_back(static_cast<uint32_t>(start));
+    on_stack[start] = 1;
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const ClassSlot& c = p.classes[f.slot];
+      // Advance to the next unvisited core child edge.
+      bool descended = false;
+      while (f.option < c.options.size()) {
+        const Option& o = c.options[f.option];
+        if (o.pruned || f.child >= o.children.size()) {
+          ++f.option;
+          f.child = 0;
+          continue;
+        }
+        const uint32_t w = o.children[f.child++];
+        if (!p.is_core(w)) continue;
+        if (index[w] < 0) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = 1;
+          dfs.push_back(Frame{w});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[f.slot] = std::min(lowlink[f.slot], index[w]);
+      }
+      if (descended) continue;
+      // All edges done: pop, fold lowlink into the parent, emit the SCC.
+      const uint32_t v = f.slot;
+      dfs.pop_back();
+      if (!dfs.empty())
+        lowlink[dfs.back().slot] = std::min(lowlink[dfs.back().slot], lowlink[v]);
+      if (lowlink[v] == index[v]) {
+        std::vector<uint32_t> members;
+        for (;;) {
+          const uint32_t w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = 0;
+          p.classes[w].scc = next_scc;
+          members.push_back(w);
+          if (w == v) break;
+        }
+        if (members.size() > 1) {
+          for (uint32_t w : members) p.classes[w].cyclic = true;
+        } else {
+          // Trivial SCC: cyclic only with a self-loop.
+          for (const Option& o : p.classes[members[0]].options) {
+            if (o.pruned) continue;
+            if (std::binary_search(o.children.begin(), o.children.end(), members[0]))
+              p.classes[members[0]].cyclic = true;
+          }
+        }
+        ++next_scc;
+      }
+    }
+  }
+}
+
+size_t assign_components(Problem& p) {
+  const size_t n = p.classes.size();
+  for (ClassSlot& c : p.classes) c.component = -1;
+
+  // Union-find over core classes through (undirected) dependency edges.
+  std::vector<uint32_t> uf(n);
+  std::iota(uf.begin(), uf.end(), 0);
+  const auto find = [&](uint32_t a) {
+    while (uf[a] != a) {
+      uf[a] = uf[uf[a]];
+      a = uf[a];
+    }
+    return a;
+  };
+  const auto unite = [&](uint32_t a, uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) uf[std::max(a, b)] = std::min(a, b);  // smallest slot is root
+  };
+  for (size_t s = 0; s < n; ++s) {
+    if (!p.is_core(static_cast<uint32_t>(s))) continue;
+    for (const Option& o : p.classes[s].options) {
+      if (o.pruned) continue;
+      for (uint32_t child : o.children) {
+        if (!p.is_core(child)) continue;
+        // Edges into forced classes carry no cover coupling: the child is
+        // selected in every solution (its own component's "= 1" row pays for
+        // it) and the cover row into it is vacuous. Intra-SCC edges still
+        // couple — their topological-order rows (when cycle constraints are
+        // on) tie the two classes' t variables together.
+        const bool same_cycle =
+            p.classes[child].cyclic && p.classes[child].scc == p.classes[s].scc;
+        if (!p.classes[child].forced || same_cycle)
+          unite(static_cast<uint32_t>(s), child);
+      }
+    }
+  }
+
+  // Number components by their smallest member slot (deterministic).
+  size_t count = 0;
+  std::vector<int32_t> component_of_root(n, -1);
+  for (size_t s = 0; s < n; ++s) {
+    if (!p.is_core(static_cast<uint32_t>(s))) continue;
+    const uint32_t r = find(static_cast<uint32_t>(s));
+    if (component_of_root[r] < 0) component_of_root[r] = static_cast<int32_t>(count++);
+    p.classes[s].component = component_of_root[r];
+  }
+  return count;
+}
+
+}  // namespace exteng
+}  // namespace tensat

@@ -1,0 +1,35 @@
+// Dependency condensation for the extraction engine: Tarjan SCCs of the
+// class-dependency graph (class -> child class through live e-nodes) and the
+// split of the reduced problem into independent MILP components.
+//
+// Why SCCs matter (paper §5.1): the acyclicity constraints (4)-(5) exist to
+// forbid cyclic selections, and any cycle of the selection is a cycle of the
+// class graph, which lives entirely inside one strongly connected component.
+// Cross-SCC edges can never close a cycle, so topological-order variables
+// and their big-M rows are only emitted for classes of nontrivial SCCs —
+// the "residual cyclic cores" the monolithic formulation paid for globally.
+#pragma once
+
+#include "extract/engine/problem.h"
+
+namespace tensat {
+namespace exteng {
+
+/// Fills ClassSlot::scc and ClassSlot::cyclic for every core class. SCC
+/// indices are assigned in Tarjan completion order, which is children-first:
+/// iterating classes by ascending scc index visits the condensation in
+/// reverse topological order. Edges considered: live options of core
+/// classes to core child classes.
+void condense_sccs(Problem& p);
+
+/// Fills ClassSlot::component: connected components of the undirected view
+/// of the core dependency graph. Two classes in different components share
+/// no variable, no cover row, and no cost coupling (every class appearing in
+/// both sub-MILPs would have to be connected to both), so their MILPs solve
+/// independently and their objectives add. Returns the component count.
+/// Components are numbered by the smallest member slot, so the numbering —
+/// and with it the per-core solve order — is deterministic.
+size_t assign_components(Problem& p);
+
+}  // namespace exteng
+}  // namespace tensat

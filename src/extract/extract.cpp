@@ -13,16 +13,18 @@ namespace {
 
 constexpr double kHuge = std::numeric_limits<double>::infinity();
 
-/// Classes reachable from `root` through unfiltered e-nodes.
+/// Classes reachable from `root` through unfiltered e-nodes. Canonical ids
+/// are dense in [0, num_ids()), so the seen-set is a flat byte array instead
+/// of a hash map (this walk fronts every extraction).
 std::vector<Id> reachable_classes(const EGraph& eg, Id root) {
   std::vector<Id> order;
   std::vector<Id> stack{eg.find(root)};
-  std::unordered_map<Id, bool> seen;
+  std::vector<char> seen(eg.num_ids(), 0);
   while (!stack.empty()) {
     const Id cls = stack.back();
     stack.pop_back();
     if (seen[cls]) continue;
-    seen[cls] = true;
+    seen[cls] = 1;
     order.push_back(cls);
     for (const EClassNode& e : eg.eclass(cls).nodes) {
       if (e.filtered) continue;
@@ -37,37 +39,102 @@ std::vector<Id> reachable_classes(const EGraph& eg, Id root) {
 
 /// The greedy per-class choice: cheapest best-subtree e-node per class
 /// (fixpoint; sharing ignored). Classes with no finite option are absent.
+///
+/// Worklist formulation: a class is re-evaluated only when one of its child
+/// classes improves, found through a parents index — the old full-resweep
+/// fixpoint re-scanned every e-node of every class per round. Per-node costs
+/// and canonical child slots are cached once up front, so each re-evaluation
+/// is a flat array scan. Choice ties resolve to the first e-node in class
+/// order attaining the minimum, which is also what the resweep converged to.
 std::unordered_map<Id, TNode> greedy_selection(const EGraph& eg, const CostModel& model,
                                                const std::vector<Id>& classes) {
-  std::unordered_map<Id, double> best;
-  std::unordered_map<Id, TNode> choice;
-  for (Id cls : classes) best[cls] = kHuge;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (Id cls : classes) {
-      for (const EClassNode& e : eg.eclass(cls).nodes) {
-        if (e.filtered) continue;
-        double total = enode_cost(eg, cls, e.node, model);
-        for (Id c : e.node.children) {
-          const double child_cost = best.at(eg.find(c));
-          if (child_cost == kHuge) {
-            total = kHuge;
-            break;
-          }
-          total += child_cost;
+  const size_t n = classes.size();
+  std::vector<int32_t> slot(eg.num_ids(), -1);
+  for (size_t s = 0; s < n; ++s) slot[classes[s]] = static_cast<int32_t>(s);
+
+  // Flattened per-class options: cost + child slots, cached once.
+  struct Option {
+    const TNode* node;
+    double cost;
+    uint32_t children_first, children_count;  // into child_slots
+  };
+  std::vector<Option> options;
+  std::vector<uint32_t> child_slots;
+  std::vector<std::pair<uint32_t, uint32_t>> class_options(n);  // (first, count)
+  std::vector<std::vector<uint32_t>> parents(n);
+  for (size_t s = 0; s < n; ++s) {
+    class_options[s].first = static_cast<uint32_t>(options.size());
+    for (const EClassNode& e : eg.eclass(classes[s]).nodes) {
+      if (e.filtered) continue;
+      Option o;
+      o.node = &e.node;
+      o.cost = enode_cost(eg, classes[s], e.node, model);
+      o.children_first = static_cast<uint32_t>(child_slots.size());
+      for (Id c : e.node.children) {
+        const uint32_t cs = static_cast<uint32_t>(slot[eg.find(c)]);
+        child_slots.push_back(cs);
+        parents[cs].push_back(static_cast<uint32_t>(s));
+      }
+      o.children_count = static_cast<uint32_t>(child_slots.size()) - o.children_first;
+      options.push_back(o);
+    }
+    class_options[s].second =
+        static_cast<uint32_t>(options.size()) - class_options[s].first;
+  }
+  for (std::vector<uint32_t>& p : parents) {
+    std::sort(p.begin(), p.end());
+    p.erase(std::unique(p.begin(), p.end()), p.end());
+  }
+
+  std::vector<double> best(n, kHuge);
+  std::vector<const TNode*> choice(n, nullptr);
+  std::vector<char> queued(n, 1);
+  // Seed deepest-first: reachable_classes is a root-first DFS and the
+  // worklist pops from the back, so pushing in slot order evaluates deep
+  // classes before their parents and most classes settle on their first
+  // evaluation.
+  std::vector<uint32_t> work(n);
+  for (size_t s = 0; s < n; ++s) work[s] = static_cast<uint32_t>(s);
+  while (!work.empty()) {
+    const uint32_t s = work.back();
+    work.pop_back();
+    queued[s] = 0;
+    double new_best = kHuge;
+    const TNode* new_choice = nullptr;
+    const auto [first, count] = class_options[s];
+    for (uint32_t k = first; k < first + count; ++k) {
+      const Option& o = options[k];
+      double total = o.cost;
+      for (uint32_t j = o.children_first; j < o.children_first + o.children_count;
+           ++j) {
+        const double child_cost = best[child_slots[j]];
+        if (child_cost == kHuge) {
+          total = kHuge;
+          break;
         }
-        if (total < best[cls] - 1e-12) {
-          best[cls] = total;
-          choice[cls] = e.node;
-          changed = true;
+        total += child_cost;
+      }
+      if (total < new_best - 1e-12) {
+        new_best = total;
+        new_choice = o.node;
+      }
+    }
+    if (new_best < best[s] - 1e-12) {
+      best[s] = new_best;
+      choice[s] = new_choice;
+      for (uint32_t p : parents[s]) {
+        if (!queued[p]) {
+          queued[p] = 1;
+          work.push_back(p);
         }
       }
     }
   }
-  for (Id cls : classes)
-    if (best.at(cls) == kHuge) choice.erase(cls);
-  return choice;
+
+  std::unordered_map<Id, TNode> result;
+  for (size_t s = 0; s < n; ++s)
+    if (choice[s] != nullptr) result.emplace(classes[s], *choice[s]);
+  return result;
 }
 
 }  // namespace
@@ -75,8 +142,11 @@ std::unordered_map<Id, TNode> greedy_selection(const EGraph& eg, const CostModel
 std::optional<Graph> build_selected_graph(
     const EGraph& eg, Id root, const std::unordered_map<Id, TNode>& selection) {
   Graph out;
-  std::unordered_map<Id, Id> built;       // class -> node id in `out`
-  std::unordered_map<Id, bool> on_stack;  // cycle guard
+  // Canonical ids are dense in [0, num_ids()): flat arrays replace the old
+  // hash-map seen-sets (built: class -> node id in `out`; on_stack guards
+  // against cyclic selections).
+  std::vector<Id> built(eg.num_ids(), kInvalidId);
+  std::vector<char> on_stack(eg.num_ids(), 0);
 
   // Explicit-stack DFS so deep graphs don't overflow the call stack.
   struct Frame {
@@ -84,7 +154,7 @@ std::optional<Graph> build_selected_graph(
     size_t next_child{0};
   };
   std::vector<Frame> stack{{eg.find(root)}};
-  on_stack[eg.find(root)] = true;
+  on_stack[eg.find(root)] = 1;
   while (!stack.empty()) {
     Frame& f = stack.back();
     auto sel = selection.find(f.cls);
@@ -92,25 +162,25 @@ std::optional<Graph> build_selected_graph(
     const TNode& node = sel->second;
     if (f.next_child < node.children.size()) {
       const Id child = eg.find(node.children[f.next_child++]);
-      if (built.count(child)) continue;
+      if (built[child] != kInvalidId) continue;
       if (on_stack[child]) return std::nullopt;  // cyclic selection
-      on_stack[child] = true;
+      on_stack[child] = 1;
       stack.push_back(Frame{child});
       continue;
     }
     TNode concrete{node.op, node.num, node.str, {}};
     concrete.children.reserve(node.children.size());
-    for (Id c : node.children) concrete.children.push_back(built.at(eg.find(c)));
+    for (Id c : node.children) concrete.children.push_back(built[eg.find(c)]);
     // try_add: the chosen member can (rarely) fail the concrete shape check
     // when the class-level analysis was a join over disagreeing members;
     // treat it like a cyclic selection and let the caller fall back.
     auto added = out.try_add(std::move(concrete));
     if (!added.has_value()) return std::nullopt;
-    built.emplace(f.cls, *added);
-    on_stack[f.cls] = false;
+    built[f.cls] = *added;
+    on_stack[f.cls] = 0;
     stack.pop_back();
   }
-  out.add_root(built.at(eg.find(root)));
+  out.add_root(built[eg.find(root)]);
   return out;
 }
 
@@ -134,8 +204,12 @@ IlpExtractionResult extract_ilp(const EGraph& eg, const CostModel& model,
                                 const IlpExtractOptions& options) {
   IlpExtractionResult result;
   Timer timer;
+  Timer phase_timer;
   const Id root = eg.root();
   const std::vector<Id> classes = reachable_classes(eg, root);
+  result.stats.reach_seconds = phase_timer.seconds();
+  result.stats.classes_reachable = classes.size();
+  phase_timer.reset();  // everything until solve_milp counts as lp-build
 
   // Enumerate decision variables: one per unfiltered e-node of a reachable
   // class (filter-list nodes are omitted == pinned to zero).
@@ -213,9 +287,19 @@ IlpExtractionResult extract_ilp(const EGraph& eg, const CostModel& model,
     }
   }
   result.num_vars = nodes.size();
+  result.stats.milp_vars_total = nodes.size();
+  result.stats.largest_core_vars = nodes.size();
+  result.stats.num_cores = nodes.empty() ? 0 : 1;
   if (nodes.size() > options.max_instance_nodes) {
     result.too_large = true;
     result.timed_out = true;
+    result.solve_seconds = timer.seconds();
+    return result;
+  }
+  // Every root e-node filtered: nothing to extract (constraint (2) has no
+  // variables). Report infeasible instead of crashing on the empty row.
+  if (class_nodes.find(root) == class_nodes.end()) {
+    result.milp_status = MilpStatus::kInfeasible;
     result.solve_seconds = timer.seconds();
     return result;
   }
@@ -285,7 +369,11 @@ IlpExtractionResult extract_ilp(const EGraph& eg, const CostModel& model,
     for (const auto& [m, parents] : child_to_parents) {
       std::vector<std::pair<int, double>> terms;
       for (int i : parents) terms.emplace_back(i, 1.0);
-      for (int j : class_nodes.at(m)) terms.emplace_back(j, -1.0);
+      // A child class with every e-node filtered has no variables: the row
+      // degenerates to "sum of parents <= 0", pinning those parents to zero
+      // (they cannot be covered).
+      if (auto it = class_nodes.find(m); it != class_nodes.end())
+        for (int j : it->second) terms.emplace_back(j, -1.0);
       lp.add_row(std::move(terms), -kInf, 0.0);
     }
   }
@@ -363,6 +451,7 @@ IlpExtractionResult extract_ilp(const EGraph& eg, const CostModel& model,
 
   MilpOptions milp_opt;
   milp_opt.time_limit_s = options.time_limit_s;
+  milp_opt.rel_gap = options.rel_gap;
   // LP-guided rounding: per class take the variable with the largest
   // fractional value (falling back to greedy for classes the LP zeroes);
   // this is how good incumbents appear long before optimality is proven.
@@ -391,7 +480,11 @@ IlpExtractionResult extract_ilp(const EGraph& eg, const CostModel& model,
     }
     return selection_to_x(choice);
   };
+  result.stats.lp_build_seconds = phase_timer.seconds();
+  phase_timer.reset();
   const MilpResult milp = solve_milp(lp, integral, milp_opt, warm);
+  result.stats.solve_seconds = phase_timer.seconds();
+  phase_timer.reset();
   result.milp_status = milp.status;
   result.timed_out = milp.timed_out;
   result.solve_seconds = milp.seconds;
@@ -421,6 +514,7 @@ IlpExtractionResult extract_ilp(const EGraph& eg, const CostModel& model,
   auto graph = build_selected_graph(eg, root, selection);
   if (!graph.has_value()) {
     result.cyclic_selection = true;
+    result.stats.stitch_seconds = phase_timer.seconds();
     // Fall back to the greedy graph if we have one (mirrors "use the best
     // known feasible solution").
     if (greedy.ok) {
@@ -434,6 +528,7 @@ IlpExtractionResult extract_ilp(const EGraph& eg, const CostModel& model,
   result.graph.single_root();
   result.cost = graph_cost(result.graph, model);
   result.ok = true;
+  result.stats.stitch_seconds = phase_timer.seconds();
   return result;
 }
 

@@ -26,6 +26,31 @@ struct ExtractionResult {
   double cost{0.0};
 };
 
+/// Per-phase wall-clock and size breakdown of one extraction, threaded
+/// through TensatResult so `extract_seconds` regressions can be pinned to
+/// the dominant phase (mirrors ExploreStats for exploration). The monolithic
+/// ILP fills reach/lp_build/solve/stitch; the decomposing engine
+/// (extract/engine/engine.h) additionally fills reduce_seconds and the
+/// reduction/core counters.
+struct ExtractStats {
+  double reach_seconds{0.0};     // reachable sub-e-graph collection
+  double reduce_seconds{0.0};    // reductions + SCC condensation + collapse
+  double lp_build_seconds{0.0};  // LP/MILP assembly (all cores)
+  double solve_seconds{0.0};     // branch & bound (all cores, wall clock)
+  double stitch_seconds{0.0};    // selection -> concrete Graph rebuild
+  size_t classes_reachable{0};
+  size_t classes_forced{0};      // forced constants removed before the MILP
+  size_t classes_free{0};        // zero-cost classes dropped entirely
+  size_t classes_collapsed{0};   // tree-like pseudo-leaves solved by exact DP
+  size_t classes_interior{0};    // classes inside collapsed regions
+  size_t nodes_pruned_dominated{0};  // cost-dominance reductions
+  size_t nodes_pruned_bound{0};      // greedy-incumbent-bound reductions
+  size_t num_cores{0};           // independent MILP components solved
+  size_t largest_core_vars{0};   // decision variables of the biggest core
+  size_t milp_vars_total{0};     // decision variables summed over cores
+  double base_cost{0.0};         // constant cost folded out of the MILPs
+};
+
 /// Greedy extraction from the e-graph's root class.
 ExtractionResult extract_greedy(const EGraph& eg, const CostModel& model);
 
@@ -40,8 +65,13 @@ struct IlpExtractOptions {
   bool warm_start_with_greedy = true;
   /// Refuse instances with more e-nodes than this (the dense-tableau LP
   /// would exhaust memory); reported as timed_out, mirroring the paper's
-  /// ">1 hour" entries.
+  /// ">1 hour" entries. The decomposing engine applies its own per-core cap
+  /// (ExtractEngineOptions::max_core_nodes) instead.
   size_t max_instance_nodes = 2600;
+  /// Relative MIP gap handed to the branch & bound: an incumbent within
+  /// rel_gap * |incumbent| of the proven bound is reported optimal. Tests
+  /// that pin exact engine-vs-monolithic cost parity set this to 0.
+  double rel_gap = 1e-3;
 };
 
 struct IlpExtractionResult : ExtractionResult {
@@ -57,6 +87,8 @@ struct IlpExtractionResult : ExtractionResult {
   /// True if the selected graph contained a cycle (possible only when
   /// cycle_constraints are off and the e-graph was not filtered).
   bool cyclic_selection{false};
+  /// Per-phase breakdown (reach/reduce/lp-build/solve/stitch + sizes).
+  ExtractStats stats;
 };
 
 /// ILP extraction from the e-graph's root class.

@@ -564,8 +564,9 @@ TensatResult optimize(const Graph& input, const std::vector<Rewrite>& rules,
       result.optimized_cost = ext.cost;
     }
   } else {
-    result.ilp = extract_ilp(eg, model, options.ilp);
+    result.ilp = extract_engine(eg, model, options.ilp);
     result.ok = result.ilp.ok;
+    result.extract_stats = result.ilp.stats;
     if (result.ilp.ok) {
       result.optimized = result.ilp.graph;
       result.optimized_cost = result.ilp.cost;

@@ -10,6 +10,7 @@
 #include "cost/cost.h"
 #include "egraph/egraph.h"
 #include "ematch/scheduler.h"
+#include "extract/engine/engine.h"
 #include "extract/extract.h"
 #include "lang/graph.h"
 #include "rewrite/rules.h"
@@ -33,7 +34,11 @@ struct TensatOptions {
   double explore_time_limit_s = 30.0;
   CycleFilterMode cycle_filter = CycleFilterMode::kEfficient;
   ExtractorKind extractor = ExtractorKind::kIlp;
-  IlpExtractOptions ilp;
+  /// ILP extraction knobs. The engine's staged pipeline (reductions + SCC
+  /// decomposition + per-core solves, extract/engine/engine.h) is the
+  /// default; `ilp.decompose = false` selects the monolithic one-shot ILP,
+  /// the differential baseline. All IlpExtractOptions fields apply to both.
+  ExtractEngineOptions ilp;
   /// Rule scheduling (egg's BackoffScheduler): per-rule per-iteration match
   /// budgets with temporary bans for rules that blow them. Replaces the old
   /// hard per-rule application caps; the default budget is high enough that
@@ -152,7 +157,12 @@ struct TensatResult {
   double optimized_cost{0.0};
   ExploreStats explore;
   double extract_seconds{0.0};
-  IlpExtractionResult ilp;  // populated when extractor == kIlp
+  /// Per-phase extraction breakdown (reach/reduce/lp-build/solve/stitch plus
+  /// reduction and core counters), the extraction analog of ExploreStats'
+  /// search/apply/rebuild split. Filled for ILP extraction (both the engine
+  /// and the monolithic path); zero for greedy extraction.
+  ExtractStats extract_stats;
+  EngineExtractionResult ilp;  // populated when extractor == kIlp
 };
 
 /// The full pipeline: seed e-graph from `input`, explore, extract.

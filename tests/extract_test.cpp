@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <unordered_map>
+
+#include "extract/engine/engine.h"
 #include "extract/extract.h"
 #include "optimizer/optimizer.h"
 #include "rewrite/matcher.h"
@@ -11,6 +15,39 @@ namespace {
 const T4CostModel& model() {
   static const T4CostModel m;
   return m;
+}
+
+/// Fixed per-operator costs: lets tests craft exact cost relationships the
+/// analytic T4 model cannot hit.
+class FixedCostModel : public CostModel {
+ public:
+  explicit FixedCostModel(std::unordered_map<Op, double> costs)
+      : costs_(std::move(costs)) {}
+  [[nodiscard]] double op_cost(const TNode& node, span<const ValueInfo>,
+                               const ValueInfo&) const override {
+    auto it = costs_.find(node.op);
+    return it == costs_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  std::unordered_map<Op, double> costs_;
+};
+
+/// Runs the decomposing engine and the monolithic ILP at zero MIP gap and
+/// asserts they agree on solvability and (when both solve) on the extracted
+/// cost — the engine's differential-parity contract.
+void expect_engine_parity(const EGraph& eg, const CostModel& m,
+                          IlpExtractOptions base = {}) {
+  base.rel_gap = 0.0;  // exact parity needs exact per-core optima
+  ExtractEngineOptions engine_opt;
+  static_cast<IlpExtractOptions&>(engine_opt) = base;
+  const EngineExtractionResult engine = extract_engine(eg, m, engine_opt);
+  EXPECT_TRUE(engine.decomposed);
+  const IlpExtractionResult mono = extract_ilp(eg, m, base);
+  EXPECT_EQ(engine.ok, mono.ok);
+  if (engine.ok && mono.ok) {
+    EXPECT_NEAR(engine.cost, mono.cost, 1e-6 + 1e-9 * std::abs(mono.cost));
+  }
 }
 
 TEST(Extract, TrivialGraphRoundTrips) {
@@ -56,21 +93,11 @@ TEST(Extract, PicksCheaperAlternative) {
   EXPECT_NEAR(ilp.cost, greedy.cost, 1e-6);
 }
 
-/// Builds the paper's Fig. 2 situation: two matmuls sharing an input, plus
-/// the merged concat/split alternative, in one e-graph.
-EGraph shared_matmul_egraph(Graph* out_graph = nullptr) {
-  Graph g;
-  const Id x = g.input("x", {64, 256});
-  const Id w1 = g.weight("w1", {256, 256});
-  const Id w2 = g.weight("w2", {256, 256});
-  const Id m1 = g.matmul(x, w1);
-  const Id m2 = g.matmul(x, w2);
-  g.add_root(m1);
-  g.add_root(m2);
-  if (out_graph) *out_graph = g;
-  EGraph eg = seed_egraph(g);
-
-  // Apply the multi-pattern rule once.
+/// Applies the paper's Fig. 2 multi-pattern rule (two matmuls sharing an
+/// operand merge into one matmul over concatenated weights, recovered with
+/// splits) to every compatible match pair, then rebuilds. Returns true if at
+/// least one application landed.
+bool apply_fig2_rule(EGraph& eg) {
   const Rewrite rule = make_rewrite(
       "fig2",
       "(matmul ?act ?a ?b) (matmul ?act ?a ?c)",
@@ -93,7 +120,23 @@ EGraph shared_matmul_egraph(Graph* out_graph = nullptr) {
     }
   }
   eg.rebuild();
-  EXPECT_TRUE(applied);
+  return applied;
+}
+
+/// Builds the paper's Fig. 2 situation: two matmuls sharing an input, plus
+/// the merged concat/split alternative, in one e-graph.
+EGraph shared_matmul_egraph(Graph* out_graph = nullptr) {
+  Graph g;
+  const Id x = g.input("x", {64, 256});
+  const Id w1 = g.weight("w1", {256, 256});
+  const Id w2 = g.weight("w2", {256, 256});
+  const Id m1 = g.matmul(x, w1);
+  const Id m2 = g.matmul(x, w2);
+  g.add_root(m1);
+  g.add_root(m2);
+  if (out_graph) *out_graph = g;
+  EGraph eg = seed_egraph(g);
+  EXPECT_TRUE(apply_fig2_rule(eg));
   return eg;
 }
 
@@ -151,26 +194,7 @@ TEST(Extract, CycleConstraintsPreventCyclicSelection) {
   const Id m2 = g.matmul(x, m1);
   g.add_root(m2);
   EGraph eg = seed_egraph(g);
-  const Rewrite rule = make_rewrite(
-      "fig2",
-      "(matmul ?act ?a ?b) (matmul ?act ?a ?c)",
-      "(split0 (split 1 (matmul ?act ?a (concat2 1 ?b ?c)))) "
-      "(split1 (split 1 (matmul ?act ?a (concat2 1 ?b ?c))))");
-  auto matches = search_pattern(eg, rule.pat, rule.src_roots[0]);
-  auto matches2 = search_pattern(eg, rule.pat, rule.src_roots[1]);
-  for (const auto& ma : matches) {
-    for (const auto& mb : matches2) {
-      if (eg.find(ma.root) == eg.find(mb.root)) continue;
-      auto combined = Subst::merged(ma.subst, mb.subst);
-      if (!combined) continue;
-      auto t0 = instantiate(eg, rule.pat, rule.dst_roots[0], *combined);
-      auto t1 = instantiate(eg, rule.pat, rule.dst_roots[1], *combined);
-      if (!t0 || !t1) continue;
-      eg.merge(ma.root, *t0);
-      eg.merge(mb.root, *t1);
-    }
-  }
-  eg.rebuild();
+  ASSERT_TRUE(apply_fig2_rule(eg));
 
   IlpExtractOptions with_cycles;
   with_cycles.cycle_constraints = true;
@@ -219,6 +243,268 @@ TEST(Extract, IlpNeverWorseThanGreedy) {
   ASSERT_TRUE(greedy.ok);
   ASSERT_TRUE(ilp.ok);
   EXPECT_LE(ilp.cost, greedy.cost + 1e-6);
+}
+
+// ---- Extraction engine (extract/engine/): decomposed vs monolithic --------
+
+TEST(ExtractEngine, ParityOnBasicScenarios) {
+  {
+    Graph g;
+    const Id x = g.input("x", {8, 8});
+    const Id w = g.weight("w", {8, 8});
+    g.add_root(g.matmul(x, w));
+    EGraph eg = seed_egraph(g);
+    expect_engine_parity(eg, model());
+  }
+  {
+    EGraph eg = shared_matmul_egraph();
+    expect_engine_parity(eg, model());
+  }
+}
+
+TEST(ExtractEngine, ParityWithCycleConstraints) {
+  // The cyclic Fig.-2-style e-graph of CycleConstraintsPreventCyclicSelection.
+  Graph g;
+  const Id x = g.input("x", {4, 4});
+  const Id y = g.weight("y", {4, 4});
+  const Id m1 = g.matmul(x, y);
+  const Id m2 = g.matmul(x, m1);
+  g.add_root(m2);
+  EGraph eg = seed_egraph(g);
+  ASSERT_TRUE(apply_fig2_rule(eg));
+
+  IlpExtractOptions with_cycles;
+  with_cycles.cycle_constraints = true;
+  expect_engine_parity(eg, model(), with_cycles);
+
+  IlpExtractOptions int_mode = with_cycles;
+  int_mode.integer_topo_vars = true;
+  expect_engine_parity(eg, model(), int_mode);
+
+  // Engine alone: result is acyclic and optimal, cycle rows only on cores.
+  ExtractEngineOptions opt;
+  opt.cycle_constraints = true;
+  const EngineExtractionResult r = extract_engine(eg, model(), opt);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.cyclic_selection);
+  EXPECT_GT(r.graph.topo_order().size(), 0u);
+}
+
+TEST(ExtractEngine, ParityWithFilteredNodes) {
+  EGraph eg = shared_matmul_egraph();
+  for (Id cls : eg.canonical_classes()) {
+    const auto& nodes = eg.eclass(cls).nodes;
+    for (size_t i = 0; i < nodes.size(); ++i)
+      if (nodes[i].node.op == Op::kSplit0 || nodes[i].node.op == Op::kSplit1)
+        eg.set_filtered(cls, i);
+  }
+  expect_engine_parity(eg, model());
+  const EngineExtractionResult r = extract_engine(eg, model());
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.graph.op_histogram().count(Op::kSplit0), 0u);
+}
+
+TEST(ExtractEngine, GreedyMissedSharingStillFound) {
+  // The engine's reductions must not presolve away the shared-subgraph win
+  // the ILP exists for (paper §6.5).
+  EGraph eg = shared_matmul_egraph();
+  const ExtractionResult greedy = extract_greedy(eg, model());
+  const EngineExtractionResult engine = extract_engine(eg, model());
+  ASSERT_TRUE(greedy.ok);
+  ASSERT_TRUE(engine.ok);
+  EXPECT_LT(engine.cost, greedy.cost - 1e-6);
+  EXPECT_GT(engine.graph.op_histogram().count(Op::kSplit), 0u);
+}
+
+TEST(ExtractEngine, StatsBreakdownFilled) {
+  EGraph eg = shared_matmul_egraph();
+  const EngineExtractionResult r = extract_engine(eg, model());
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.stats.classes_reachable, 0u);
+  // The weight/leaf towers of the Fig. 2 graph must presolve away.
+  EXPECT_GT(r.stats.classes_forced + r.stats.classes_collapsed, 0u);
+  EXPECT_GT(r.stats.milp_vars_total, 0u);
+  EXPECT_GE(r.stats.largest_core_vars, 1u);
+  EXPECT_GE(r.stats.num_cores, 1u);
+  // The engine's instance is strictly smaller than the monolithic one.
+  const IlpExtractionResult mono = extract_ilp(eg, model());
+  EXPECT_LT(r.stats.milp_vars_total, mono.num_vars);
+}
+
+TEST(ExtractEngine, RootClassFullyFilteredIsInfeasible) {
+  EGraph eg = shared_matmul_egraph();
+  const Id root = eg.root();
+  const size_t root_nodes = eg.eclass(root).nodes.size();
+  for (size_t i = 0; i < root_nodes; ++i) eg.set_filtered(root, i);
+
+  const ExtractionResult greedy = extract_greedy(eg, model());
+  EXPECT_FALSE(greedy.ok);
+  const IlpExtractionResult mono = extract_ilp(eg, model());
+  EXPECT_FALSE(mono.ok);
+  EXPECT_EQ(mono.milp_status, MilpStatus::kInfeasible);
+  const EngineExtractionResult engine = extract_engine(eg, model());
+  EXPECT_FALSE(engine.ok);
+  EXPECT_EQ(engine.milp_status, MilpStatus::kInfeasible);
+}
+
+TEST(ExtractEngine, UnmappableGreedyWarmStartStillSolves) {
+  // Class X = { ewadd(c, c), relu(c) } where the greedy DP double-counts c
+  // (it sums per child occurrence) and so picks relu, while the monolithic
+  // presolve groups both e-nodes under the deduped child set {c} and keeps
+  // the cheaper ewadd — the greedy warm start maps to no variable and must
+  // be dropped, not crash, and both paths still reach the true optimum.
+  const FixedCostModel fixed({{Op::kMatmul, 20.0}, {Op::kEwadd, 1.0},
+                              {Op::kRelu, 10.0}});
+  Graph g;
+  const Id x = g.input("x", {8, 8});
+  const Id w = g.weight("w", {8, 8});
+  const Id c = g.matmul(x, w);
+  g.add_root(g.ewadd(c, c));
+  EGraph eg = seed_egraph(g);
+  Graph g2;
+  const Id x2 = g2.input("x", {8, 8});
+  const Id w2 = g2.weight("w", {8, 8});
+  g2.add_root(g2.relu(g2.matmul(x2, w2)));
+  auto m2 = eg.add_graph(g2);
+  eg.merge(eg.root(), m2.at(g2.roots()[0]));
+  eg.rebuild();
+
+  // Greedy really does take the bait: 10 + 20 < 1 + 20 + 20.
+  const ExtractionResult greedy = extract_greedy(eg, fixed);
+  ASSERT_TRUE(greedy.ok);
+  EXPECT_NEAR(greedy.cost, 30.0, 1e-9);
+
+  IlpExtractOptions base;
+  base.rel_gap = 0.0;
+  const IlpExtractionResult mono = extract_ilp(eg, fixed, base);
+  ASSERT_TRUE(mono.ok);
+  EXPECT_EQ(mono.milp_status, MilpStatus::kOptimal);
+  EXPECT_NEAR(mono.cost, 21.0, 1e-9);  // ewadd(c,c): 1 + one shared matmul
+  expect_engine_parity(eg, fixed);
+}
+
+TEST(ExtractEngine, CyclicSelectionWithoutConstraintsFallsBackToGreedy) {
+  // Cyclic e-graph, no filtering, cycle_constraints off: the cyclic
+  // selection is strictly cheaper under a model that makes matmul expensive
+  // and the merged-path ops cheap, so the MILP optimum is cyclic and both
+  // paths must fall back to the greedy graph.
+  const FixedCostModel fixed({{Op::kMatmul, 1000.0}, {Op::kConcat2, 1.0},
+                              {Op::kSplit, 1.0}, {Op::kSplit0, 1.0},
+                              {Op::kSplit1, 1.0}});
+  Graph g;
+  const Id x = g.input("x", {4, 4});
+  const Id y = g.weight("y", {4, 4});
+  const Id m1 = g.matmul(x, y);
+  const Id m2 = g.matmul(x, m1);
+  g.add_root(m2);
+  EGraph eg = seed_egraph(g);
+  ASSERT_TRUE(apply_fig2_rule(eg));
+
+  IlpExtractOptions base;
+  base.rel_gap = 0.0;
+  const IlpExtractionResult mono = extract_ilp(eg, fixed, base);
+  ASSERT_TRUE(mono.ok);  // greedy fallback
+  EXPECT_TRUE(mono.cyclic_selection);
+  ExtractEngineOptions engine_opt;
+  engine_opt.rel_gap = 0.0;
+  const EngineExtractionResult engine = extract_engine(eg, fixed, engine_opt);
+  ASSERT_TRUE(engine.ok);
+  EXPECT_TRUE(engine.cyclic_selection);
+  EXPECT_NEAR(engine.cost, mono.cost, 1e-9);
+  EXPECT_GT(engine.graph.topo_order().size(), 0u);  // the fallback is a DAG
+}
+
+TEST(ExtractEngine, CoreTooLargeReported) {
+  EGraph eg = shared_matmul_egraph();
+  ExtractEngineOptions opt;
+  opt.max_core_nodes = 1;
+  const EngineExtractionResult r = extract_engine(eg, model(), opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.too_large);
+  EXPECT_TRUE(r.timed_out);
+}
+
+TEST(ExtractEngine, MonolithicDelegationMatchesExtractIlp) {
+  EGraph eg = shared_matmul_egraph();
+  ExtractEngineOptions opt;
+  opt.decompose = false;
+  const EngineExtractionResult via_engine = extract_engine(eg, model(), opt);
+  const IlpExtractionResult direct = extract_ilp(eg, model(), opt);
+  EXPECT_FALSE(via_engine.decomposed);
+  ASSERT_TRUE(via_engine.ok);
+  ASSERT_TRUE(direct.ok);
+  EXPECT_NEAR(via_engine.cost, direct.cost, 1e-9);
+  EXPECT_EQ(via_engine.num_vars, direct.num_vars);
+}
+
+TEST(ExtractEngine, SolvesInstanceMonolithicRejectsAsTooLarge) {
+  // Many independent shared-matmul motifs: the monolithic instance grows
+  // with the motif count while the engine's largest core stays the size of
+  // one motif.
+  Graph g;
+  for (int grp = 0; grp < 6; ++grp) {
+    const Id x = g.input("x" + std::to_string(grp), {64, 256});
+    const Id w1 = g.weight("w1_" + std::to_string(grp), {256, 256});
+    const Id w2 = g.weight("w2_" + std::to_string(grp), {256, 256});
+    g.add_root(g.matmul(x, w1));
+    g.add_root(g.matmul(x, w2));
+  }
+  EGraph eg = seed_egraph(g);
+  ASSERT_TRUE(apply_fig2_rule(eg));
+
+  // Cap chosen between the largest engine core and the monolithic instance.
+  const IlpExtractionResult probe = extract_ilp(eg, model());
+  const EngineExtractionResult engine_probe = extract_engine(eg, model());
+  ASSERT_TRUE(engine_probe.ok);
+  ASSERT_LT(engine_probe.stats.largest_core_vars, probe.num_vars);
+
+  IlpExtractOptions mono_opt;
+  mono_opt.max_instance_nodes = engine_probe.stats.largest_core_vars;
+  const IlpExtractionResult mono = extract_ilp(eg, model(), mono_opt);
+  EXPECT_FALSE(mono.ok);
+  EXPECT_TRUE(mono.too_large);
+
+  ExtractEngineOptions engine_opt;
+  engine_opt.max_core_nodes = engine_probe.stats.largest_core_vars;
+  const EngineExtractionResult engine = extract_engine(eg, model(), engine_opt);
+  ASSERT_TRUE(engine.ok);
+  EXPECT_FALSE(engine.too_large);
+  EXPECT_GT(engine.stats.num_cores, 1u);
+  EXPECT_NEAR(engine.cost, probe.cost, 1e-6);
+
+  // An explicit thread count forces the pooled per-core solve path even on
+  // small instances (the dispatch gate only applies to the default) — the
+  // sanitizer jobs exercise the parallel fan-out through this.
+  ExtractEngineOptions pooled_opt = engine_opt;
+  pooled_opt.core_threads = 3;
+  const EngineExtractionResult pooled = extract_engine(eg, model(), pooled_opt);
+  ASSERT_TRUE(pooled.ok);
+  EXPECT_NEAR(pooled.cost, engine.cost, 1e-9);
+  EXPECT_EQ(pooled.stats.num_cores, engine.stats.num_cores);
+}
+
+TEST(ExtractEngine, OptimizerRoutesThroughEngine) {
+  Graph g;
+  const Id x = g.input("x", {64, 512});
+  const Id w1 = g.weight("w1", {512, 512});
+  const Id w2 = g.weight("w2", {512, 512});
+  g.add_root(g.matmul(x, w1));
+  g.add_root(g.matmul(x, w2));
+  TensatOptions options;
+  options.k_max = 4;
+  options.k_multi = 1;
+  options.node_limit = 2000;
+  const TensatResult engine_run = optimize(g, default_rules(), model(), options);
+  ASSERT_TRUE(engine_run.ok);
+  EXPECT_TRUE(engine_run.ilp.decomposed);
+  EXPECT_GT(engine_run.extract_stats.classes_reachable, 0u);
+
+  TensatOptions mono_options = options;
+  mono_options.ilp.decompose = false;
+  const TensatResult mono_run = optimize(g, default_rules(), model(), mono_options);
+  ASSERT_TRUE(mono_run.ok);
+  EXPECT_FALSE(mono_run.ilp.decomposed);
+  EXPECT_NEAR(engine_run.optimized_cost, mono_run.optimized_cost, 1e-6);
 }
 
 }  // namespace
