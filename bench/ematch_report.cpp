@@ -29,13 +29,23 @@
 //     instance the monolithic path rejects as too_large (its post-presolve
 //     variable count exceeds max_instance_nodes) must be solved by the
 //     engine — the scalability claim the subsystem exists for.
+//  7. trace: the full canonical-pattern sweep on the explored-BERT e-graph
+//     (every ematch::search emits a span) with a trace::Tracer installed vs
+//     disabled, min-of-N timing to resist CI noise. Gate: tracing-enabled
+//     overhead must stay <= 5%.
+//
+// The top-level JSON carries provenance: schema_version, git_sha,
+// hardware_concurrency, build_type (bench/README.md).
 //
 // Usage: bench_ematch_report [output.json]   (default: BENCH_ematch.json)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
+
+#include <thread>
 
 #include "bench_common.h"
 #include "extract/engine/engine.h"
@@ -44,8 +54,10 @@
 #include "rewrite/matcher.h"
 #include "rewrite/multi.h"
 #include "rewrite/rules.h"
+#include "support/buildinfo.h"
 #include "support/parallel.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 using namespace tensat;
 
@@ -582,6 +594,52 @@ int main(int argc, char** argv) {
           ? mono_extract_seconds / engine_extract_seconds
           : 0.0;
 
+  // ---- Section 7: tracing overhead, enabled vs disabled --------------------
+  // Workload: the explored-BERT canonical-pattern sweep (the trace-densest
+  // hot path — one ematch/search span per pattern per sweep, so the span
+  // record cost is maximally represented relative to useful work). Min-of-N
+  // rep timing, same sweep count per rep on both sides: the minimum is the
+  // least-interrupted run, the measurement most resistant to CI noise.
+  double trace_disabled_s = 0.0, trace_enabled_s = 0.0;
+  size_t trace_sweeps_per_rep = 0, trace_events = 0;
+  {
+    const EGraph& eg = workloads.back().eg;  // "BERT(2,32,128) explored"
+    const auto sweep = [&] {
+      size_t total = 0;
+      for (const auto& found : ematch::search_all(eg, progs, 1))
+        total += found.size();
+      return total;
+    };
+    // Calibrate so one rep is ~50ms of work, then take the min over reps.
+    Timer cal;
+    sweep();
+    trace_sweeps_per_rep = std::max<size_t>(
+        1, static_cast<size_t>(0.05 / std::max(cal.seconds(), 1e-9)));
+    constexpr size_t kReps = 7;
+    const auto min_of_reps = [&] {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t rep = 0; rep < kReps; ++rep) {
+        Timer t;
+        for (size_t s = 0; s < trace_sweeps_per_rep; ++s) sweep();
+        best = std::min(best, t.seconds());
+      }
+      return best / static_cast<double>(trace_sweeps_per_rep);
+    };
+    trace_disabled_s = min_of_reps();
+    trace::Tracer tracer;
+    tracer.install();
+    trace_enabled_s = min_of_reps();
+    tracer.uninstall();
+    trace_events = tracer.summary().events;
+  }
+  const double trace_overhead =
+      trace_disabled_s > 0.0 ? trace_enabled_s / trace_disabled_s : 1.0;
+  std::printf("\n%-24s %14s | %14s | %8s\n", "tracing overhead",
+              "disabled s/swp", "enabled s/swp", "ratio");
+  std::printf("%-24s %14.6f | %14.6f | %7.3fx  (%zu events)\n",
+              "BERT(2,32,128) explored", trace_disabled_s, trace_enabled_s,
+              trace_overhead, trace_events);
+
   // ---- JSON report ---------------------------------------------------------
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -589,6 +647,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f, "{\n");
+  // Provenance: enough to tell which commit, build flavor, and machine class
+  // produced the numbers when two BENCH_ematch.json artifacts disagree.
+  std::fprintf(f, "  \"schema_version\": 2,\n");
+  std::fprintf(f, "  \"git_sha\": \"%s\",\n", build_git_sha());
+  std::fprintf(f, "  \"build_type\": \"%s\",\n", build_type());
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"workload\": \"all canonical patterns of default_rules() vs "
                   "model seed e-graphs (bench/ematch_report.cpp; same search as "
                   "bench/micro_egraph.cpp BM_EMatchAllRules*)\",\n");
@@ -732,6 +797,20 @@ int main(int argc, char** argv) {
                extract_speedup);
   std::fprintf(f, "    \"engine_solved_monolithic_too_large\": %s\n",
                solved_too_large ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"trace\": {\n");
+  std::fprintf(f, "    \"workload\": \"full canonical-pattern sweep on the "
+                  "explored-BERT e-graph, trace::Tracer installed vs disabled "
+                  "(src/trace; every ematch::search records one span); min of 7 "
+                  "reps, %zu sweeps per rep\",\n",
+               trace_sweeps_per_rep);
+  std::fprintf(f, "    \"disabled\": {\"seconds_per_sweep\": %.6f},\n",
+               trace_disabled_s);
+  std::fprintf(f, "    \"enabled\": {\"seconds_per_sweep\": %.6f, "
+                  "\"events_recorded\": %zu},\n",
+               trace_enabled_s, trace_events);
+  std::fprintf(f, "    \"overhead_ratio_enabled_over_disabled\": %.3f\n",
+               trace_overhead);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -739,14 +818,16 @@ int main(int argc, char** argv) {
   std::printf("\noverall speedup (vm over naive): %.2fx, (joint over cartesian): "
               "%.2fx, (pooled over serial apply): %.2fx, (incremental over fresh "
               "cycles): %.2fx, (engine over monolithic extract): %.2fx, "
-              "(engine solved a too-large instance): %s -> %s\n",
+              "(engine solved a too-large instance): %s, (tracing overhead): "
+              "%.3fx -> %s\n",
               speedup, join_speedup, apply_speedup, cycle_speedup, extract_speedup,
-              solved_too_large ? "yes" : "NO", out_path.c_str());
+              solved_too_large ? "yes" : "NO", trace_overhead, out_path.c_str());
   if (speedup < 2.0) return 2;        // gate: VM must be >= 2x naive
   if (join_speedup < 1.0) return 4;   // gate: joint join must not lose overall
   if (apply_speedup < 1.0) return 5;  // gate: pooled apply must not lose overall
   if (cycle_speedup < 1.0) return 6;  // gate: incremental cycles must not lose
   if (extract_speedup < 1.0) return 8;  // gate: engine extraction must not lose
   if (!solved_too_large) return 9;    // gate: engine must lift the size cap
+  if (trace_overhead > 1.05) return 11;  // gate: tracing-enabled overhead <= 5%
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "models/models.h"
 #include "optimizer/optimizer.h"
 #include "rewrite/rules.h"
+#include "trace/report.h"
 
 int main() {
   using namespace tensat;
@@ -33,28 +34,18 @@ int main() {
   const ExploreStats explore = run_exploration(eg, default_rules(), options);
   std::printf("exploration: %zu e-nodes, %zu e-classes, %zu cycle-filtered\n",
               explore.enodes_total, explore.eclasses, explore.filtered);
-  std::printf("phase times: search %.3fs, apply %.3fs, rebuild %.3fs, "
-              "dmap %.3fs, cycle sweep %.3fs (of %.3fs)\n",
-              explore.search_seconds, explore.apply_seconds,
-              explore.rebuild_seconds, explore.dmap_seconds,
-              explore.cycle_sweep_seconds, explore.seconds);
+  trace::print_explore_phases(stdout, explore, "phase times");
 
   const ExtractionResult greedy = extract_greedy(eg, model);
   const EngineExtractionResult ilp = extract_engine(eg, model, options.ilp);
   std::printf("greedy extraction: %.1f us\n", greedy.ok ? greedy.cost : -1.0);
   std::printf("ILP extraction   : %.1f us%s\n", ilp.ok ? ilp.cost : -1.0,
               ilp.timed_out ? " (timeout; best incumbent)" : "");
-  std::printf("extract phases: reach %.3fs, reduce %.3fs, lp-build %.3fs, "
-              "solve %.3fs, stitch %.3fs\n",
-              ilp.stats.reach_seconds, ilp.stats.reduce_seconds,
-              ilp.stats.lp_build_seconds, ilp.stats.solve_seconds,
-              ilp.stats.stitch_seconds);
+  trace::print_extract_phases(stdout, ilp.stats, "extract phases");
   std::printf("engine: %zu reachable classes -> %zu forced + %zu free + %zu "
-              "collapsed; %zu cores, largest %zu vars (monolithic instance "
-              "would be one core)\n",
+              "collapsed (monolithic instance would be one core)\n",
               ilp.stats.classes_reachable, ilp.stats.classes_forced,
-              ilp.stats.classes_free, ilp.stats.classes_collapsed,
-              ilp.stats.num_cores, ilp.stats.largest_core_vars);
+              ilp.stats.classes_free, ilp.stats.classes_collapsed);
 
   if (ilp.ok) {
     const auto hist = ilp.graph.op_histogram();

@@ -12,6 +12,7 @@
 #include "rewrite/rules.h"
 #include "support/timer.h"
 #include "taso/search.h"
+#include "trace/report.h"
 
 int main() {
   using namespace tensat;
@@ -40,17 +41,9 @@ int main() {
   std::printf("TENSAT: %.1f us after %.2fs (explore %.2fs + extract %.2fs)\n",
               tensat.optimized_cost, tensat_timer.seconds(),
               tensat.explore.seconds, tensat.extract_seconds);
-  std::printf("        explore phases: search %.2fs, apply %.2fs, rebuild %.2fs, "
-              "cycles %.2fs\n",
-              tensat.explore.search_seconds, tensat.explore.apply_seconds,
-              tensat.explore.rebuild_seconds,
-              tensat.explore.dmap_seconds + tensat.explore.cycle_sweep_seconds);
-  std::printf("        extract phases: reach %.2fs, reduce %.2fs, lp-build %.2fs, "
-              "solve %.2fs, stitch %.2fs (%zu cores, largest %zu vars)\n",
-              tensat.extract_stats.reach_seconds, tensat.extract_stats.reduce_seconds,
-              tensat.extract_stats.lp_build_seconds,
-              tensat.extract_stats.solve_seconds, tensat.extract_stats.stitch_seconds,
-              tensat.extract_stats.num_cores, tensat.extract_stats.largest_core_vars);
+  trace::print_explore_phases(stdout, tensat.explore, "        explore phases");
+  trace::print_extract_phases(stdout, tensat.extract_stats,
+                              "        extract phases");
 
   std::printf("\nspeedup over original: TASO %.1f%%, TENSAT %.1f%%\n",
               100.0 * (taso.original_cost - taso.best_cost) / taso.best_cost,

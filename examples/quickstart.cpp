@@ -13,6 +13,7 @@
 #include "lang/graph.h"
 #include "optimizer/optimizer.h"
 #include "rewrite/rules.h"
+#include "trace/report.h"
 
 int main() {
   using namespace tensat;
@@ -42,19 +43,8 @@ int main() {
               result.explore.iterations, result.explore.enodes_total,
               result.explore.eclasses,
               result.explore.stop == StopReason::kSaturated ? "saturated" : "limit");
-  std::printf("phase times   : search %.3fs, apply %.3fs, rebuild %.3fs, "
-              "dmap %.3fs, cycle sweep %.3fs\n",
-              result.explore.search_seconds, result.explore.apply_seconds,
-              result.explore.rebuild_seconds, result.explore.dmap_seconds,
-              result.explore.cycle_sweep_seconds);
-  std::printf("extraction    : reach %.3fs, reduce %.3fs, lp-build %.3fs, "
-              "solve %.3fs, stitch %.3fs (%zu cores, largest %zu vars of %zu "
-              "classes)\n",
-              result.extract_stats.reach_seconds, result.extract_stats.reduce_seconds,
-              result.extract_stats.lp_build_seconds, result.extract_stats.solve_seconds,
-              result.extract_stats.stitch_seconds, result.extract_stats.num_cores,
-              result.extract_stats.largest_core_vars,
-              result.extract_stats.classes_reachable);
+  trace::print_explore_phases(stdout, result.explore, "phase times   ");
+  trace::print_extract_phases(stdout, result.extract_stats, "extraction    ");
   std::printf("\noptimized graph (root expression):\n%s\n",
               result.optimized.to_sexpr(result.optimized.roots()[0]).c_str());
   return 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.h"
+#include "trace/trace.h"
 
 namespace tensat {
 namespace {
@@ -153,6 +154,9 @@ void recompute_members(const EGraph& eg, std::vector<int8_t>& state,
 }  // namespace
 
 void IncrementalCycleAnalysis::rebuild_fresh() {
+  // The incremental repair's bail-out; worth a timeline marker because a
+  // string of these means the merge pattern defeats the journal.
+  const trace::ScopedSpan span("cycles/rebuild_fresh");
   ++stats_.fresh_rebuilds;
   const size_t n = eg_->num_ids();
   index_.assign(n, -1);
@@ -173,6 +177,7 @@ void IncrementalCycleAnalysis::rebuild_fresh() {
 }
 
 size_t IncrementalCycleAnalysis::sweep_cycles() {
+  const trace::ScopedSpan span("cycles/sweep");
   // Add-only growth cannot create a cycle (every e-node's children predate
   // it), so with no merges recorded the graph is as acyclic as the last
   // epoch left it.
@@ -204,6 +209,7 @@ size_t IncrementalCycleAnalysis::sweep_cycles() {
 }
 
 void IncrementalCycleAnalysis::advance_epoch() {
+  const trace::ScopedSpan span("cycles/advance_epoch");
   ++stats_.epochs;
   const size_t n = eg_->num_ids();
   if (journal_.empty() && n == index_.size()) return;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "support/parallel.h"
+#include "trace/trace.h"
 
 namespace tensat::ematch {
 namespace {
@@ -158,6 +159,9 @@ VM make_vm(const EGraph& eg, const Program& prog, const MatchLimits& limits) {
 
 std::vector<PatternMatch> search(const EGraph& eg, const Program& prog,
                                  const MatchLimits& limits) {
+  // One span per pattern sweep, on whichever lane runs it — the per-thread
+  // occupancy view of the parallel search phase.
+  const trace::ScopedSpan span("ematch/search");
   VM vm = make_vm(eg, prog, limits);
   std::vector<PatternMatch> matches;
   // Leaf-rooted patterns scan every class; operator roots borrow the op-index
@@ -188,6 +192,7 @@ std::vector<Subst> match_class(const EGraph& eg, const Program& prog, Id class_i
 
 std::vector<JointMatch> search_joint(const EGraph& eg, const Program& prog,
                                      const MatchLimits& limits) {
+  const trace::ScopedSpan span("ematch/search_joint");
   VM vm = make_vm(eg, prog, limits);
   vm.regs.assign(prog.num_regs, kInvalidId);
   std::vector<JointMatch> out;

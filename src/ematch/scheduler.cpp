@@ -1,6 +1,7 @@
 #include "ematch/scheduler.h"
 
 #include "support/check.h"
+#include "trace/trace.h"
 
 namespace tensat::ematch {
 namespace {
@@ -35,6 +36,9 @@ bool BackoffScheduler::record_matches(size_t rule, size_t iteration, size_t matc
   const size_t ban = shl_saturating(options_.ban_length, s.times_banned);
   s.banned_until = iteration + 1 + ban;
   ++s.times_banned;
+  // Timeline marker (arg = rule index); record_matches runs from the serial
+  // collect loop, so the instants merge deterministically.
+  trace::instant("scheduler/ban", static_cast<int64_t>(rule), true);
   return true;
 }
 

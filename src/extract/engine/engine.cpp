@@ -10,6 +10,7 @@
 #include "ilp/milp.h"
 #include "support/parallel.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 namespace tensat {
 namespace {
@@ -117,8 +118,22 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
   Timer timer;
   Timer phase_timer;
 
+  // Phase spans ride the existing phase_timer boundaries (explicit records,
+  // not ScopedSpans, because the phases share this scope and several exit
+  // early). The per-core spans below live on the solver workers' own lanes.
+  const trace::ScopedSpan extract_span("extract");
+  trace::Tracer* const tracer = trace::Tracer::current();
+  double phase_start_us = tracer != nullptr ? tracer->now_us() : 0.0;
+  const auto phase_mark = [&](const char* name) {
+    if (tracer == nullptr) return;
+    const double now = tracer->now_us();
+    tracer->record_span(name, phase_start_us, now);
+    phase_start_us = now;
+  };
+
   // ---- Reach: flatten the reachable sub-e-graph --------------------------
   Problem p = Problem::build(eg, model);
+  phase_mark("extract/reach");
   result.stats.reach_seconds = phase_timer.seconds();
   result.stats.classes_reachable = p.classes.size();
   phase_timer.reset();
@@ -136,6 +151,7 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
   // The warm-start/fallback computation is charged to lp-build, the phase
   // the monolithic path books it under, so the per-phase breakdown stays
   // comparable across the two paths.
+  phase_mark("extract/greedy");
   result.stats.lp_build_seconds += phase_timer.seconds();
   phase_timer.reset();
 
@@ -164,6 +180,7 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
   exteng::collapse_treelike(p, rstats);
   const size_t num_components = exteng::assign_components(p);
 
+  phase_mark("extract/reduce");
   result.stats.reduce_seconds = phase_timer.seconds();
   result.stats.classes_forced = rstats.classes_forced;
   result.stats.classes_free = rstats.classes_free;
@@ -338,6 +355,7 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
     }
   }
   result.num_rows = rows_total;
+  phase_mark("extract/build");
   result.stats.lp_build_seconds += phase_timer.seconds();
   phase_timer.reset();
 
@@ -353,6 +371,9 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
   if (core_threads == 0 && (cores.size() <= 1 || vars_total < 512))
     core_threads = 1;
   parallel_for(cores.size(), core_threads, [&](size_t k) {
+    // Per-core solve span on the worker's lane (arg = core index) — the
+    // per-thread view of how the component solves pack onto the pool.
+    const trace::ScopedSpan core_span("extract/core", static_cast<int64_t>(k));
     Core& core = cores[k];
     MilpOptions milp_opt = milp_opt_base;
     // time_limit_s is a TOTAL extraction budget, as it was for the
@@ -394,6 +415,7 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
     };
     core.milp = solve_milp(core.lp, core.integral, milp_opt, core.warm);
   });
+  phase_mark("extract/solve");
   result.stats.solve_seconds = phase_timer.seconds();
   phase_timer.reset();
 
@@ -452,6 +474,7 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
   auto graph = build_selected_graph(eg, eg.root(), selection);
   if (!graph.has_value()) {
     result.cyclic_selection = true;
+    phase_mark("extract/stitch");
     result.stats.stitch_seconds = phase_timer.seconds();
     if (greedy.ok) {  // best known feasible solution, as in the monolithic
       result.graph = std::move(greedy.graph);
@@ -464,6 +487,7 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
   result.graph.single_root();
   result.cost = graph_cost(result.graph, model);
   result.ok = true;
+  phase_mark("extract/stitch");
   result.stats.stitch_seconds = phase_timer.seconds();
   return result;
 }

@@ -6,6 +6,7 @@
 
 #include "support/check.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 namespace tensat {
 namespace {
@@ -51,6 +52,10 @@ MilpResult solve_milp(const LinearProgram& lp, const std::vector<bool>& integer_
                       const std::optional<std::vector<double>>& warm_start) {
   TENSAT_CHECK(static_cast<int>(integer_mask.size()) == lp.num_vars(),
                "integer mask size mismatch");
+  // Span on the caller's lane (engine cores call from pool workers); the
+  // B&B/LP work totals go through incr(), whose per-lane sums merge into
+  // deterministic aggregates regardless of which worker solved which core.
+  const trace::ScopedSpan span("milp/solve", lp.num_vars());
   Timer timer;
   MilpResult result;
 
@@ -251,6 +256,8 @@ MilpResult solve_milp(const LinearProgram& lp, const std::vector<bool>& integer_
   } else {
     result.best_bound = (frontier == kInf) ? -kInf : frontier;
   }
+  trace::incr("milp/bb_nodes", static_cast<int64_t>(result.nodes_explored));
+  trace::incr("milp/lp_iterations", static_cast<int64_t>(result.lp_iterations));
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "support/check.h"
 #include "support/parallel.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 namespace tensat {
 namespace {
@@ -18,6 +19,7 @@ namespace {
 /// and the combined substitution.
 struct Application {
   const Rewrite* rule;
+  size_t rule_index;  // into the rules vector (per-rule telemetry key)
   std::vector<Id> src_classes;
   Subst subst;
 };
@@ -90,6 +92,17 @@ bool apply_one(EGraph& eg, const Application& app, CycleFilterMode mode,
   }
   return changed;
 }
+
+/// Adds the guarded scope's wall time to `acc` on every exit path — the
+/// per-rule seconds accounting for loops that bail with `continue`.
+struct SecondsGuard {
+  explicit SecondsGuard(double& acc) : acc(acc) {}
+  ~SecondsGuard() { acc += timer.seconds(); }
+  SecondsGuard(const SecondsGuard&) = delete;
+  SecondsGuard& operator=(const SecondsGuard&) = delete;
+  double& acc;
+  Timer timer;
+};
 
 /// Stage 1 plans applications in fixed index chunks; each chunk owns one
 /// staging arena and scratch, so workers share nothing mutable, duplicate
@@ -188,8 +201,11 @@ EGraph seed_egraph(const Graph& input) {
 
 ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
                              const TensatOptions& options) {
+  trace::ScopedSpan explore_span("explore");
   Timer timer;
   ExploreStats stats;
+  stats.rules.resize(rules.size());
+  for (size_t r = 0; r < rules.size(); ++r) stats.rules[r].name = rules[r].name;
   const MultiPlan plan = build_multi_plan(rules);
   ematch::BackoffScheduler scheduler(rules.size(), options.backoff);
 
@@ -229,6 +245,10 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       stats.stop = StopReason::kNodeLimit;
       break;
     }
+    const trace::ScopedSpan iter_span("explore/iteration", iter);
+    const Timer iter_timer;
+    const size_t matches_before_iter = stats.matches_found;
+    const size_t applications_before_iter = stats.applications;
     const uint64_t version_before = eg.version();
     stats.iterations = iter + 1;
 
@@ -251,11 +271,13 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         // after the previous iteration's sweep — so the final iteration's
         // journal (whose epoch nobody would ever query) is never paid for,
         // mirroring the fresh path building its map only at iteration start.
+        const trace::ScopedSpan dmap_span("explore/dmap");
         Timer dmap_timer;
         inc_cycles->advance_epoch();
         stats.dmap_seconds += dmap_timer.seconds();
         reach = inc_cycles.get();
       } else {
+        const trace::ScopedSpan dmap_span("explore/dmap");
         Timer dmap_timer;
         dmap = std::make_unique<DescendantsMap>(eg);
         stats.dmap_seconds += dmap_timer.seconds();
@@ -274,6 +296,9 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       bool joint;
       size_t index;                 // pattern index, or rule index if joint
       ematch::MatchLimits limits;
+      /// Rules charged for this search's wall time (RuleTelemetry::seconds):
+      /// the pattern's active users, or the joint rule itself.
+      std::vector<size_t> charged_rules;
     };
     std::vector<SearchTask> tasks;
     for (size_t p = 0; p < plan.patterns.size(); ++p) {
@@ -281,10 +306,11 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       // multi-pattern rules consume) is covered elsewhere by design — it is
       // not a "skipped" search.
       if (pattern_users[p].empty()) continue;
-      bool any_active = false;
-      for (size_t r : pattern_users[p]) any_active = any_active || rule_active(r);
-      if (any_active)
-        tasks.push_back(SearchTask{false, p, {}});
+      std::vector<size_t> active_users;
+      for (size_t r : pattern_users[p])
+        if (rule_active(r)) active_users.push_back(r);
+      if (!active_users.empty())
+        tasks.push_back(SearchTask{false, p, {}, std::move(active_users)});
       else
         ++stats.searches_skipped;
     }
@@ -295,7 +321,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         // what trips the scheduler's ban), so the search needn't return more.
         ematch::MatchLimits limits;
         limits.max_matches = scheduler.match_limit(r) + 1;
-        tasks.push_back(SearchTask{true, r, limits});
+        tasks.push_back(SearchTask{true, r, limits, {r}});
       }
     }
     // Same dispatch gate as ematch::search_all: a sweep too small to
@@ -312,15 +338,29 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         search_threads = 1;
     }
     Timer search_timer;
-    parallel_for(tasks.size(), search_threads, [&](size_t t) {
-      const SearchTask& task = tasks[t];
-      if (task.joint)
-        joint_matches[task.index] =
-            ematch::search_joint(eg, plan.joint_programs[task.index], task.limits);
-      else
-        matches[task.index] = ematch::search(eg, plan.patterns[task.index].program);
-    });
+    // Per-task wall time, written by whichever worker runs the task (its own
+    // slot; parallel_for's join publishes it) and distributed to the charged
+    // rules serially below.
+    std::vector<double> task_seconds(tasks.size(), 0.0);
+    {
+      const trace::ScopedSpan search_span("explore/search");
+      parallel_for(tasks.size(), search_threads, [&](size_t t) {
+        const SearchTask& task = tasks[t];
+        const Timer task_timer;
+        if (task.joint)
+          joint_matches[task.index] =
+              ematch::search_joint(eg, plan.joint_programs[task.index], task.limits);
+        else
+          matches[task.index] = ematch::search(eg, plan.patterns[task.index].program);
+        task_seconds[t] = task_timer.seconds();
+      });
+    }
     stats.search_seconds += search_timer.seconds();
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      const std::vector<size_t>& charged = tasks[t].charged_rules;
+      const double share = task_seconds[t] / static_cast<double>(charged.size());
+      for (size_t r : charged) stats.rules[r].seconds += share;
+    }
     // Joint matches are credited to the multi_* stats in the apply loop, the
     // same place the Cartesian baseline counts its tuples, so the two modes
     // stay comparable even when node/time limits truncate the apply phase.
@@ -345,6 +385,10 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
     for (size_t r = 0; r < rules.size(); ++r)
       if (!rules[r].is_multi()) rule_order.push_back(r);
 
+    // Collect is timed with an explicit record (not ScopedSpan) because the
+    // loop and the later stages share this scope.
+    trace::Tracer* const tracer = trace::Tracer::current();
+    const double collect_start_us = tracer != nullptr ? tracer->now_us() : 0.0;
     std::vector<Application> apps;
     for (size_t r : rule_order) {
       // Enumeration of a huge match product can itself be slow; a coarse
@@ -353,6 +397,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       if (timer.seconds() > options.explore_time_limit_s) break;
       const Rewrite& rule = rules[r];
       if (!rule_active(r)) continue;
+      const SecondsGuard rule_guard(stats.rules[r].seconds);
       const auto& sources = plan.rule_sources[r];
       const size_t budget = scheduler.match_limit(r);
       size_t applied_this_rule = 0;
@@ -366,13 +411,15 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
           // additionally include the incompatible tuples it had to try).
           ++stats.multi_combos_considered;
           ++stats.multi_matches_found;
+          ++stats.rules[r].matches;
           ++applied_this_rule;
           // Budget blown: stop here; record_matches below imposes the ban.
           if (applied_this_rule > budget) break;
-          apps.push_back(Application{&rule, jm.roots, jm.subst});
+          ++stats.rules[r].planned;
+          apps.push_back(Application{&rule, r, jm.roots, jm.subst});
         }
         if (scheduler.record_matches(r, static_cast<size_t>(iter), applied_this_rule))
-          ++stats.bans;
+          ++stats.bans, ++stats.rules[r].bans;
         continue;
       }
 
@@ -395,6 +442,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       for (;;) {
         Application app;
         app.rule = &rule;
+        app.rule_index = r;
         if (rule.is_multi()) ++stats.multi_combos_considered;
         std::optional<Subst> combined = Subst{};
         for (size_t k = 0; k < per_source.size() && combined; ++k) {
@@ -405,9 +453,11 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         if (combined.has_value()) {  // COMPATIBLE
           app.subst = std::move(*combined);
           ++applied_this_rule;
+          ++stats.rules[r].matches;
           if (rule.is_multi()) ++stats.multi_matches_found;
           // Budget blown: stop here; record_matches below imposes the ban.
           if (applied_this_rule > budget) break;
+          ++stats.rules[r].planned;
           apps.push_back(std::move(app));
         }
         size_t k = 0;
@@ -419,8 +469,10 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         if (k == idx.size()) break;
       }
       if (scheduler.record_matches(r, static_cast<size_t>(iter), applied_this_rule))
-        ++stats.bans;
+        ++stats.bans, ++stats.rules[r].bans;
     }
+    if (tracer != nullptr)
+      tracer->record_span("explore/collect", collect_start_us, tracer->now_us());
 
     bool hit_node_limit = false;
     bool hit_time_limit = false;
@@ -442,24 +494,32 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       // enforcement. (Node limits need no stage-1 check: planning never
       // grows the e-graph.)
       std::atomic<bool> plan_timed_out{false};
-      parallel_for(num_chunks, options.apply_threads, [&](size_t c) {
-        const size_t begin = c * kPlanChunk;
-        const size_t end = std::min(begin + kPlanChunk, apps.size());
-        for (size_t i = begin; i < end; ++i) {
-          if (plan_timed_out.load(std::memory_order_relaxed)) return;
-          if (timer.seconds() > options.explore_time_limit_s) {
-            plan_timed_out.store(true, std::memory_order_relaxed);
-            return;
+      {
+        const trace::ScopedSpan plan_span("explore/plan");
+        parallel_for(num_chunks, options.apply_threads, [&](size_t c) {
+          // Per-chunk span on the worker's own lane: the per-thread view of
+          // stage-1 occupancy (arg = chunk index).
+          const trace::ScopedSpan chunk_span("apply/plan_chunk",
+                                             static_cast<int64_t>(c));
+          const size_t begin = c * kPlanChunk;
+          const size_t end = std::min(begin + kPlanChunk, apps.size());
+          for (size_t i = begin; i < end; ++i) {
+            if (plan_timed_out.load(std::memory_order_relaxed)) return;
+            if (timer.seconds() > options.explore_time_limit_s) {
+              plan_timed_out.store(true, std::memory_order_relaxed);
+              return;
+            }
+            plan_application(eg, apps[i], plans[i], chunks[c],
+                             options.cycle_filter, reach);
           }
-          plan_application(eg, apps[i], plans[i], chunks[c], options.cycle_filter,
-                           reach);
-        }
-      });
+        });
+      }
 
       // STAGE 2 (serial, fast): commit in plan order. Node and time limits
       // are enforced between applications exactly as the direct path does;
       // exceeding the time limit stops the whole apply phase (the stop
       // reason is recorded after the rebuild below).
+      const trace::ScopedSpan commit_span("explore/commit");
       std::vector<Id> committed;
       for (size_t i = 0; i < apps.size(); ++i) {
         if (eg.num_enodes_total() >= options.node_limit) {
@@ -471,14 +531,21 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
           break;
         }
         if (!plans[i].viable) continue;
+        RuleTelemetry& rt = stats.rules[apps[i].rule_index];
+        const SecondsGuard commit_guard(rt.seconds);
+        const size_t nodes_before = eg.num_enodes_total();
         if (commit_application(eg, apps[i], plans[i], chunks[i / kPlanChunk],
-                               options.cycle_filter, committed))
+                               options.cycle_filter, committed)) {
           ++stats.applications;
+          ++rt.committed;
+        }
+        rt.nodes_added += eg.num_enodes_total() - nodes_before;
       }
     } else {
       // Legacy direct path: condition checks, pre-filters, and instantiation
       // run against the live (mid-mutation) e-graph, one application at a
       // time, in the same plan order the staged pipeline commits in.
+      const trace::ScopedSpan commit_span("explore/commit");
       for (const Application& app : apps) {
         if (eg.num_enodes_total() >= options.node_limit) {
           hit_node_limit = true;
@@ -488,16 +555,25 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
           hit_time_limit = true;
           break;
         }
-        if (apply_one(eg, app, options.cycle_filter, reach))
+        RuleTelemetry& rt = stats.rules[app.rule_index];
+        const SecondsGuard apply_guard(rt.seconds);
+        const size_t nodes_before = eg.num_enodes_total();
+        if (apply_one(eg, app, options.cycle_filter, reach)) {
           ++stats.applications;
+          ++rt.committed;
+        }
+        rt.nodes_added += eg.num_enodes_total() - nodes_before;
       }
     }
     stats.apply_seconds += apply_timer.seconds();
 
     // STAGE 3: restore congruence, then filter cycles.
-    Timer rebuild_timer;
-    eg.rebuild();
-    stats.rebuild_seconds += rebuild_timer.seconds();
+    {
+      const trace::ScopedSpan rebuild_span("explore/rebuild");
+      Timer rebuild_timer;
+      eg.rebuild();
+      stats.rebuild_seconds += rebuild_timer.seconds();
+    }
     // Post-processing (Algorithm 2 lines 10-18): filter remaining cycles.
     if (options.cycle_filter == CycleFilterMode::kEfficient ||
         options.cycle_filter == CycleFilterMode::kVanilla) {
@@ -508,12 +584,33 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       // classes and skips outright on add-only iterations; when it does
       // find a cycle it delegates to the same full filter_cycles pass, so
       // the filtered sets match the fresh baseline exactly.
+      const trace::ScopedSpan sweep_span("explore/sweep");
       Timer sweep_timer;
       if (incremental_cycles)
         inc_cycles->sweep_cycles();
       else
         filter_cycles(eg);
       stats.cycle_sweep_seconds += sweep_timer.seconds();
+    }
+
+    // Growth timeline: one sample per executed iteration, taken after the
+    // sweep so the sizes reflect what the next iteration will search. The
+    // counter samples come from this serial context only, so their merged
+    // sequences stay deterministic across thread counts.
+    {
+      IterationTelemetry g;
+      g.eclasses = eg.num_classes();
+      g.enodes = eg.num_enodes();
+      g.enodes_total = eg.num_enodes_total();
+      g.filtered = eg.num_filtered();
+      g.matches = stats.matches_found - matches_before_iter;
+      g.applications = stats.applications - applications_before_iter;
+      g.seconds = iter_timer.seconds();
+      trace::counter("egraph/classes", static_cast<int64_t>(g.eclasses));
+      trace::counter("egraph/enodes", static_cast<int64_t>(g.enodes));
+      trace::counter("egraph/hashcons", static_cast<int64_t>(g.enodes_total));
+      trace::counter("egraph/filtered", static_cast<int64_t>(g.filtered));
+      stats.growth.push_back(std::move(g));
     }
 
     if (hit_node_limit) {
@@ -529,6 +626,12 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       // that just ran: a banned rule could still grow the e-graph. Lift the
       // bans and give those rules a final iteration instead.
       if (scheduler.any_banned(static_cast<size_t>(iter))) {
+        // Count the lifted bans per rule: banned beyond this iteration means
+        // the unban below cuts the ban short.
+        for (size_t r = 0; r < rules.size(); ++r)
+          if (scheduler.is_banned(r, static_cast<size_t>(iter) + 1))
+            ++stats.rules[r].unbans;
+        trace::instant("explore/unban_all");
         scheduler.unban_all();
         stats.stop = StopReason::kIterLimit;
         continue;

@@ -105,6 +105,49 @@ struct TensatOptions {
   bool incremental_cycles = true;
 };
 
+/// Cumulative per-rule telemetry across all exploration iterations, indexed
+/// parallel to the rules vector handed to run_exploration. Counters are
+/// always on (they ride existing per-rule loop boundaries, so the cost is a
+/// handful of increments per rule per iteration); this is the table
+/// tensat_profile prints and the reward signal a cost-aware scheduler
+/// (ROADMAP item 3) consumes. Everything except `seconds` is deterministic —
+/// identical for any search/apply thread count on the deterministic paths
+/// (pinned by tests/trace_test.cpp).
+struct RuleTelemetry {
+  std::string name;
+  /// Match tuples enumerated for the rule (compatible combinations for
+  /// multi-pattern rules). Truncated at budget+1 on the iteration a budget
+  /// blows — the same truncation the apply phase sees.
+  size_t matches{0};
+  /// Applications queued for the apply pipeline (within budget).
+  size_t planned{0};
+  /// Applications that actually changed the e-graph at commit.
+  size_t committed{0};
+  /// E-nodes the rule's commits added (hash-cons growth attributed to it).
+  size_t nodes_added{0};
+  size_t bans{0};    // backoff bans imposed on this rule
+  size_t unbans{0};  // bans lifted early by the pre-saturation unban pass
+  /// Wall-clock attributed to the rule: its share of each pattern search it
+  /// consumes (split evenly among the pattern's active users; joint searches
+  /// are wholly its own), plus its match enumeration and commit time.
+  /// Stage-1 planning time is not attributable per rule (chunks mix rules).
+  double seconds{0.0};
+};
+
+/// One exploration iteration's e-graph growth sample, recorded after the
+/// iteration's rebuild and cycle sweep — the timeline that shows where a
+/// saturation run blows up. All fields except `seconds` are deterministic
+/// across thread counts on the deterministic paths.
+struct IterationTelemetry {
+  size_t eclasses{0};
+  size_t enodes{0};        // excluding filtered
+  size_t enodes_total{0};  // hash-cons size (the paper's #enodes)
+  size_t filtered{0};
+  size_t matches{0};       // single-pattern matches found this iteration
+  size_t applications{0};  // successful applications this iteration
+  double seconds{0.0};     // iteration wall time
+};
+
 struct ExploreStats {
   int iterations{0};
   StopReason stop{StopReason::kIterLimit};
@@ -144,6 +187,11 @@ struct ExploreStats {
   double rebuild_seconds{0.0};
   double dmap_seconds{0.0};
   double cycle_sweep_seconds{0.0};
+  /// Per-rule telemetry, indexed parallel to the input rules.
+  std::vector<RuleTelemetry> rules;
+  /// Per-iteration e-graph growth timeline (one entry per executed
+  /// iteration, including one truncated by a node/time limit).
+  std::vector<IterationTelemetry> growth;
 };
 
 /// Runs the exploration phase on a pre-seeded e-graph (root already set).

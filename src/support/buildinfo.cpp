@@ -1,0 +1,21 @@
+#include "support/buildinfo.h"
+
+namespace tensat {
+
+const char* build_git_sha() {
+#ifdef TENSAT_GIT_SHA
+  return TENSAT_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+const char* build_type() {
+#ifdef TENSAT_BUILD_TYPE
+  return TENSAT_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace tensat

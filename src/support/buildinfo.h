@@ -1,0 +1,17 @@
+// Build provenance for benchmark artifacts: which commit and build type
+// produced a BENCH_*.json or trace.json. The values are baked in at
+// configure time (CMake passes TENSAT_GIT_SHA / TENSAT_BUILD_TYPE as
+// per-source compile definitions on buildinfo.cpp only, so a new commit
+// recompiles one translation unit, not the library).
+#pragma once
+
+namespace tensat {
+
+/// Short git SHA of the checkout the build was configured from, or
+/// "unknown" outside a git checkout.
+const char* build_git_sha();
+
+/// CMAKE_BUILD_TYPE of this build (e.g. "Release"), or "unknown".
+const char* build_type();
+
+}  // namespace tensat

@@ -1,5 +1,11 @@
 // Wall-clock timing helpers used for optimizer phase statistics and for the
 // benchmark harnesses that report optimizer time.
+//
+// This is the single timing authority for the repo: every duration — phase
+// stats, benchmark reps, time limits, and the tracer's now_us()
+// (src/trace/trace.h) — goes through this steady-clock Timer. Do not add
+// raw std::chrono call sites elsewhere; system_clock is subject to NTP
+// steps, and mixing clocks breaks span nesting in the trace timeline.
 #pragma once
 
 #include <chrono>

@@ -1,0 +1,185 @@
+// Low-overhead tracing and telemetry for the optimizer stack.
+//
+// A Tracer collects three kinds of events — RAII scoped spans, counter
+// samples, and instants — into lock-free per-thread lanes: each lane is
+// written only by its owning thread, so recording takes no lock and no
+// atomic RMW on the hot path. Lanes are merged at serial boundaries
+// (summary() / write_chrome_trace(), which the caller invokes only after
+// every parallel region has joined), ordered deterministically by
+// (lane, per-lane sequence number).
+//
+// House determinism contract: wall-clock timestamps and lane assignment
+// necessarily vary between runs and thread counts, so the *deterministic
+// view* of a trace is everything except time — span names with their
+// occurrence counts, aggregate counter totals (incr()), and counter-sample
+// value sequences. Summary::deterministic_digest() serializes exactly that
+// view; on the deterministic paths (no time-limit truncation) it is
+// bit-identical for any search/apply/core thread count, pinned by
+// tests/trace_test.cpp at 1/2/8 threads — the same contract the staged
+// apply pipeline and incremental cycle analysis follow for the e-graph
+// itself.
+//
+// Cost model: with no tracer installed (the default), every instrumentation
+// point is one relaxed atomic load and a predictable branch — cheap enough
+// to leave in release hot paths (bench_ematch_report's "trace" section gates
+// tracing-*enabled* overhead at <= 5% on the explored-graph sweep; disabled
+// overhead is unmeasurable). Event names must be string literals or other
+// storage outliving the tracer (interned symbols qualify); dynamic detail
+// goes in the int64 `arg`, never in the name.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/timer.h"
+
+namespace tensat::trace {
+
+/// One recorded event. Spans are stored complete (begin + duration, Chrome
+/// "X" phase) rather than as begin/end pairs: half the events, and a span
+/// can never be left dangling by an early return.
+struct Event {
+  enum class Kind : uint8_t { kSpan, kCounter, kInstant };
+  const char* name;
+  Kind kind;
+  double ts_us;    // steady-clock microseconds since tracer construction
+  double dur_us;   // kSpan only
+  int64_t arg;     // span/instant detail (e.g. core index), or counter value
+  bool has_arg;    // spans/instants: whether `arg` is meaningful
+};
+
+/// Merged, aggregated view of a trace (the in-memory summary sink).
+struct Summary {
+  struct SpanAgg {
+    std::string name;
+    size_t count{0};
+    double total_us{0.0};
+  };
+  struct CounterSeries {
+    std::string name;
+    std::vector<int64_t> values;  // samples in deterministic merge order
+  };
+  struct Total {
+    std::string name;
+    int64_t value{0};  // sum of incr() deltas across all lanes
+  };
+  std::vector<SpanAgg> spans;        // sorted by name
+  std::vector<CounterSeries> counters;  // sorted by name
+  std::vector<Total> totals;         // sorted by name
+  size_t events{0};                  // total events across all lanes
+
+  /// The deterministic view serialized: span names + counts, counter value
+  /// sequences, and incr totals — no timestamps, no durations, no lane ids.
+  /// Bit-identical across thread counts on the deterministic paths.
+  [[nodiscard]] std::string deterministic_digest() const;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Makes this tracer the process-wide current tracer / removes it again.
+  /// Instrumentation points pick it up through current(); install/uninstall
+  /// must happen from serial code (typically main / a test body).
+  void install();
+  void uninstall();
+
+  /// The installed tracer, or nullptr (tracing disabled). One relaxed
+  /// atomic load — the entire disabled-path cost.
+  [[nodiscard]] static Tracer* current() {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Microseconds since construction on support/timer.h's steady clock (the
+  /// repo's single timing authority).
+  [[nodiscard]] double now_us() const { return timer_.seconds() * 1e6; }
+
+  /// Records a completed span. Prefer ScopedSpan below.
+  void record_span(const char* name, double start_us, double end_us,
+                   int64_t arg = 0, bool has_arg = false);
+  /// Records a counter sample (a timeline point; Chrome "C" phase). For a
+  /// deterministic digest, sample a given counter name from one serial
+  /// context only — concurrent samples of the same name merge in lane
+  /// order, which worker scheduling can vary.
+  void counter(const char* name, int64_t value);
+  /// Records an instant event (Chrome "i" phase).
+  void instant(const char* name, int64_t arg = 0, bool has_arg = false);
+  /// Adds `delta` to the aggregate total for `name`. Lock-free (per-lane
+  /// accumulation, summed at merge time); safe and deterministic from any
+  /// thread — use for worker-side tallies like MILP iteration counts.
+  void incr(const char* name, int64_t delta);
+
+  /// Merges all lanes into the in-memory summary. Serial boundaries only.
+  [[nodiscard]] Summary summary() const;
+
+  /// Writes the merged trace as Chrome trace-event JSON (the object form:
+  /// {"traceEvents": [...]}), loadable by chrome://tracing and Perfetto.
+  /// Each lane becomes one "tid" so per-thread span gaps are visible.
+  /// Serial boundaries only.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  struct Lane;
+  /// The calling thread's lane, registered on first use (the only locked
+  /// operation; once per thread per tracer).
+  Lane& lane();
+
+  static std::atomic<Tracer*> current_;
+  const uint64_t id_;  // process-unique; keys the thread-local lane cache
+  Timer timer_;
+  mutable std::mutex lanes_mu_;  // guards registration only, never recording
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+/// RAII scoped span: records [construction, destruction) under `name` on
+/// the installed tracer, or does nothing (one atomic load) when tracing is
+/// disabled. `arg` carries dynamic detail (rule/pattern/core index).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : tracer_(Tracer::current()), name_(name) {
+    if (tracer_ != nullptr) start_us_ = tracer_->now_us();
+  }
+  ScopedSpan(const char* name, int64_t arg)
+      : tracer_(Tracer::current()), name_(name), arg_(arg), has_arg_(true) {
+    if (tracer_ != nullptr) start_us_ = tracer_->now_us();
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr)
+      tracer_->record_span(name_, start_us_, tracer_->now_us(), arg_, has_arg_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  double start_us_{0.0};
+  int64_t arg_{0};
+  bool has_arg_{false};
+};
+
+/// Counter sample on the installed tracer; no-op when disabled.
+inline void counter(const char* name, int64_t value) {
+  if (Tracer* t = Tracer::current()) t->counter(name, value);
+}
+
+/// Instant event on the installed tracer; no-op when disabled.
+inline void instant(const char* name, int64_t arg = 0, bool has_arg = false) {
+  if (Tracer* t = Tracer::current()) t->instant(name, arg, has_arg);
+}
+
+/// Aggregate-total increment on the installed tracer; no-op when disabled.
+inline void incr(const char* name, int64_t delta) {
+  if (Tracer* t = Tracer::current()) t->incr(name, delta);
+}
+
+}  // namespace tensat::trace
