@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.h"
+#include "support/parallel.h"
 #include "trace/trace.h"
 
 namespace tensat {
@@ -19,11 +20,19 @@ size_t words_for(size_t cols) {
   return rounded == 0 ? kGranularityWords : rounded;
 }
 
+/// Minimum rows in one topological wave before rebuild_fresh dispatches it
+/// to the pool. A row recompute is a few OR-loops over the stride; with the
+/// persistent pool a dispatch costs about a microsecond, so a few dozen
+/// rows already amortize it (the old thread-spawning floor would have
+/// demanded thousands).
+constexpr size_t kMinParallelRowWork = 64;
+
 }  // namespace
 
 IncrementalCycleAnalysis::IncrementalCycleAnalysis(EGraph& eg,
-                                                   double fallback_fraction)
-    : eg_(&eg), fallback_fraction_(fallback_fraction) {
+                                                   double fallback_fraction,
+                                                   size_t threads)
+    : eg_(&eg), fallback_fraction_(fallback_fraction), threads_(threads) {
   TENSAT_CHECK(eg.cycle_journal() == nullptr,
                "e-graph already has a cycle journal attached");
   eg.set_cycle_journal(&journal_);
@@ -164,16 +173,57 @@ void IncrementalCycleAnalysis::rebuild_fresh() {
   slots_used_ = 0;
   std::vector<int8_t> state(n, 0);
   size_t canonical = 0;
+  // Pre-assign every canonical class its matrix slot in ascending id order
+  // — a pure function of the e-graph, never of the wave schedule below.
+  // (The incremental repair allocates lazily in recompute order instead;
+  // that's fine there because it runs serially, but the parallel row-DP
+  // must not race on slots_used_, and determinism tests compare matrices
+  // across thread counts.)
   for (Id id = 0; id < static_cast<Id>(n); ++id) {
     if (eg_->find(id) == id) {
       state[id] = 1;
       ++canonical;
+      index_[id] = slots_used_++;
     }
   }
   words_ = words_for(canonical);
   row_capacity_ = canonical + 64;
   bits_.assign(row_capacity_ * words_, 0);
-  recompute_members(*eg_, state, [this](Id id) { recompute_row(id); });
+
+  // Row-DP in topological waves: level(c) = 1 + max level over the
+  // canonical children of c's unfiltered nodes, computed children-first by
+  // the same driver the serial repair uses. All rows of one wave depend
+  // only on rows of strictly earlier waves, so each wave recomputes on the
+  // shared pool with no synchronization beyond the fork-join barrier; every
+  // slot was assigned above and the matrix is pre-sized, so recompute_row
+  // touches only its own disjoint row. Wave membership, slot numbering, and
+  // row contents are all schedule-independent — serial and parallel
+  // rebuilds produce bit-identical matrices.
+  std::vector<int32_t> level(n, 0);
+  int32_t max_level = 0;
+  recompute_members(*eg_, state, [&](Id id) {
+    int32_t lv = 0;
+    for (const EClassNode& e : eg_->eclass(id).nodes) {
+      if (e.filtered) continue;
+      for (Id child : e.node.children) {
+        const Id c = eg_->find(child);
+        if (c != id) lv = std::max(lv, level[c] + 1);
+      }
+    }
+    level[id] = lv;
+    max_level = std::max(max_level, lv);
+  });
+  std::vector<std::vector<Id>> waves(static_cast<size_t>(max_level) + 1);
+  for (Id id = 0; id < static_cast<Id>(n); ++id)
+    if (state[id] == 3) waves[static_cast<size_t>(level[id])].push_back(id);
+  for (const std::vector<Id>& wave : waves) {
+    if (threads_ <= 1 || wave.size() < kMinParallelRowWork) {
+      for (Id id : wave) recompute_row(id);
+    } else {
+      parallel_for(wave.size(), threads_,
+                   [&](size_t i) { recompute_row(wave[i]); });
+    }
+  }
 }
 
 size_t IncrementalCycleAnalysis::sweep_cycles() {

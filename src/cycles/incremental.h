@@ -85,8 +85,15 @@ class IncrementalCycleAnalysis final : public ReachabilityMap {
   /// Attaches to `eg` (which must be clean) and builds the initial epoch
   /// with a full reconstruction. `fallback_fraction`: advance_epoch() falls
   /// back to full reconstruction when the recompute set exceeds this
-  /// fraction of the canonical class count.
-  explicit IncrementalCycleAnalysis(EGraph& eg, double fallback_fraction = 0.5);
+  /// fraction of the canonical class count. `threads`: worker count for the
+  /// full reconstruction's row-DP (rebuild_fresh computes rows in
+  /// topological waves on the shared pool; everything observable — slot
+  /// assignment, row contents, reaches() answers — is identical for any
+  /// value, see rebuild_fresh). The incremental repair itself stays serial:
+  /// its recompute sets are small by construction (past the fallback
+  /// threshold it *is* the full reconstruction).
+  explicit IncrementalCycleAnalysis(EGraph& eg, double fallback_fraction = 0.5,
+                                    size_t threads = 1);
   ~IncrementalCycleAnalysis() override;
   IncrementalCycleAnalysis(const IncrementalCycleAnalysis&) = delete;
   IncrementalCycleAnalysis& operator=(const IncrementalCycleAnalysis&) = delete;
@@ -135,6 +142,7 @@ class IncrementalCycleAnalysis final : public ReachabilityMap {
   EGraph* eg_;
   CycleJournal journal_;
   double fallback_fraction_;
+  size_t threads_;
   /// Dense row/column indices: index_[id] is the matrix slot of canonical
   /// class `id`, or -1 (non-canonical, or created after the epoch — both
   /// answer false, matching DescendantsMap's unknown-id semantics). A class

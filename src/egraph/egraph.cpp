@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.h"
+#include "support/parallel.h"
 
 namespace tensat {
 
@@ -13,15 +14,33 @@ TNode EGraph::canonicalize(TNode node) const {
 
 std::optional<Id> EGraph::lookup(TNode node) const {
   node = canonicalize(node);
-  auto it = hashcons_.find(node);
-  if (it == hashcons_.end()) return std::nullopt;
+  const auto& sh = shard(node);
+  auto it = sh.find(node);
+  if (it == sh.end()) return std::nullopt;
   return find(it->second);
+}
+
+Id EGraph::insert_new_class(TNode node, ValueInfo data) {
+  const Id id = uf_.make_set();
+  TENSAT_CHECK(id == static_cast<Id>(classes_.size()), "class id mismatch");
+  classes_.emplace_back();
+  EClass& cls = classes_[id];
+  cls.data = std::move(data);
+  cls.nodes.push_back(EClassNode{node, next_stamp_++, false});
+  op_index_[static_cast<size_t>(node.op)].push_back(id);
+  for (Id c : node.children) classes_[find(c)].parents.emplace_back(node, id);
+  shard(node).emplace(std::move(node), id);
+  ++num_enodes_total_;
+  if (journal_ != nullptr) journal_->new_classes.push_back(id);
+  ++version_;
+  return id;
 }
 
 std::optional<Id> EGraph::try_add(TNode node) {
   node = canonicalize(node);
-  auto it = hashcons_.find(node);
-  if (it != hashcons_.end()) return find(it->second);
+  const auto& sh = shard(node);
+  auto it = sh.find(node);
+  if (it != sh.end()) return find(it->second);
 
   // E-class analysis: infer the new node's data from its children's.
   std::vector<ValueInfo> inputs;
@@ -29,19 +48,15 @@ std::optional<Id> EGraph::try_add(TNode node) {
   for (Id c : node.children) inputs.push_back(classes_[find(c)].data);
   auto data = infer(node, inputs);
   if (!data.has_value()) return std::nullopt;  // shape check failed
+  return insert_new_class(std::move(node), std::move(*data));
+}
 
-  const Id id = uf_.make_set();
-  TENSAT_CHECK(id == static_cast<Id>(classes_.size()), "class id mismatch");
-  classes_.emplace_back();
-  EClass& cls = classes_[id];
-  cls.data = std::move(*data);
-  cls.nodes.push_back(EClassNode{node, next_stamp_++, false});
-  op_index_[static_cast<size_t>(node.op)].push_back(id);
-  for (Id c : node.children) classes_[find(c)].parents.emplace_back(node, id);
-  hashcons_.emplace(std::move(node), id);
-  if (journal_ != nullptr) journal_->new_classes.push_back(id);
-  ++version_;
-  return id;
+Id EGraph::try_add_planned(TNode node, const ValueInfo& data) {
+  node = canonicalize(node);
+  const auto& sh = shard(node);
+  auto it = sh.find(node);
+  if (it != sh.end()) return find(it->second);
+  return insert_new_class(std::move(node), data);
 }
 
 Id EGraph::add(TNode node) {
@@ -92,6 +107,7 @@ bool EGraph::merge(Id a, Id b) {
   EClass& winner = classes_[root];
   EClass& loser = classes_[other];
   join_data(winner.data, loser.data);
+  ++winner.data_epoch;  // conservative: any join invalidates plan-time reads
   std::move(loser.nodes.begin(), loser.nodes.end(), std::back_inserter(winner.nodes));
   std::move(loser.parents.begin(), loser.parents.end(),
             std::back_inserter(winner.parents));
@@ -122,6 +138,69 @@ void EGraph::rebuild() {
   // Fully compress the union-find so find() on the clean e-graph is a pure
   // read; the parallel pattern search depends on this (support/parallel.h).
   uf_.compress_all();
+#ifndef NDEBUG
+  size_t total = 0;
+  for (const auto& sh : hashcons_) total += sh.size();
+  TENSAT_CHECK(total == num_enodes_total_, "hash-cons size counter drifted");
+#endif
+}
+
+Id EGraph::commit_prepared(const std::vector<PreparedNode>& nodes,
+                           size_t threads) {
+  TENSAT_CHECK(pending_.empty(), "commit_prepared: e-graph must be clean");
+  const Id base = static_cast<Id>(uf_.size());
+  const size_t k = nodes.size();
+  if (k == 0) return base;
+
+  // Serial prologue: everything whose *order* is observable. Ids and class
+  // slots (dense, ascending), stamps (ascending batch order), the journal,
+  // and the version/size counters — identical for any thread count.
+  for (size_t i = 0; i < k; ++i) {
+    const Id id = uf_.make_set();
+    TENSAT_CHECK(id == static_cast<Id>(classes_.size()), "class id mismatch");
+    classes_.emplace_back();
+    if (journal_ != nullptr) journal_->new_classes.push_back(id);
+  }
+  const uint32_t stamp_base = next_stamp_;
+  next_stamp_ += static_cast<uint32_t>(k);
+  num_enodes_total_ += k;
+  version_ += k;
+
+  // The fills: class bodies (partitioned by batch index), hash-cons and
+  // op-index appends (partitioned by op symbol — each shard map is touched
+  // by exactly one worker), parent-list appends (partitioned by child
+  // class). Every container receives its entries in ascending batch order
+  // no matter how shards map to workers, so the partition count below is a
+  // pure throughput knob, not a semantics knob.
+  constexpr size_t kShards = 16;
+  auto fill_shard = [&](size_t s) {
+    for (size_t i = 0; i < k; ++i) {
+      const PreparedNode& p = nodes[i];
+      const Id id = base + static_cast<Id>(i);
+      if (i % kShards == s) {
+        EClass& cls = classes_[id];
+        cls.data = *p.data;
+        cls.nodes.push_back(
+            EClassNode{p.node, stamp_base + static_cast<uint32_t>(i), false});
+      }
+      if (static_cast<size_t>(p.node.op) % kShards == s) {
+        op_index_[static_cast<size_t>(p.node.op)].push_back(id);
+        shard(p.node).emplace(p.node, id);
+      }
+      for (const Id c : p.node.children) {
+        if (static_cast<size_t>(c) % kShards == s) {
+          classes_[c].parents.emplace_back(p.node, id);
+        }
+      }
+    }
+  };
+  // Below ~2 items per shard the scan overhead dominates; run serially.
+  if (threads <= 1 || k < 2 * kShards) {
+    for (size_t s = 0; s < kShards; ++s) fill_shard(s);
+  } else {
+    parallel_for(kShards, threads, fill_shard);
+  }
+  return base;
 }
 
 void EGraph::repair(Id id) {
@@ -131,14 +210,18 @@ void EGraph::repair(Id id) {
   auto parents = std::move(cls.parents);
   cls.parents.clear();
   for (auto& [p_node, p_class] : parents) {
-    hashcons_.erase(p_node);  // drop the stale key (no-op if already gone)
+    // Drop the stale key (no-op if already gone). Canonicalization never
+    // changes the op, so the stale and canonical forms live in one shard.
+    num_enodes_total_ -= shard(p_node).erase(p_node);
     p_node = canonicalize(p_node);
-    auto it = hashcons_.find(p_node);
-    if (it != hashcons_.end()) {
+    auto& sh = shard(p_node);
+    auto it = sh.find(p_node);
+    if (it != sh.end()) {
       merge(p_class, it->second);
       it->second = find(p_class);
     } else {
-      hashcons_.emplace(p_node, find(p_class));
+      sh.emplace(p_node, find(p_class));
+      ++num_enodes_total_;
     }
   }
   // Deduplicate the repaired parent list.
@@ -247,9 +330,17 @@ std::optional<Id> NodeBuffer::stage(TNode node) {
   auto inferred = infer(node, inputs_scratch_);
   if (!inferred.has_value()) return std::nullopt;  // shape check failed
 
+  // Record each real child's data epoch: commit() uses it to prove the
+  // inputs this infer just consumed are still bit-identical at commit time.
+  std::vector<uint32_t> child_epochs;
+  child_epochs.reserve(node.children.size());
+  for (Id c : node.children)
+    child_epochs.push_back(is_staged(c) ? 0 : eg_->data_epoch(c));
+
   const Id id = id_of(entries_.size());
   memo_.emplace(node, id);
-  entries_.push_back(Entry{std::move(node), std::move(*inferred), kInvalidId, false});
+  entries_.push_back(Entry{std::move(node), std::move(*inferred),
+                           std::move(child_epochs), kInvalidId, false});
   return id;
 }
 
@@ -264,18 +355,41 @@ std::optional<Id> NodeBuffer::commit(EGraph& eg, Id id) {
   if (entry.committed != kInvalidId) return eg.find(entry.committed);
   if (entry.commit_failed) return std::nullopt;
   TNode node = entry.node;  // entry.node stays in staged form (re-commit safe)
-  for (Id& c : node.children) {
-    auto real = commit(eg, c);
+  // Reuse proof: if every child's live analysis data is bit-identical to
+  // what stage()'s infer consumed, the planned data *is* the re-infer
+  // result (infer is deterministic), and the second infer can be skipped.
+  bool reuse = true;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const Id orig = node.children[i];
+    auto real = commit(eg, orig);
     if (!real.has_value()) {
       entry.commit_failed = true;
       return std::nullopt;
     }
-    c = *real;
+    if (!is_staged(orig)) {
+      // Real child: still its own canonical representative and untouched by
+      // any merge since plan time => data unchanged (merge is the only
+      // ValueInfo mutator and always bumps data_epoch).
+      if (*real != orig || eg.data_epoch(orig) != entry.child_epochs[i])
+        reuse = false;
+    } else {
+      // Staged child: it may have landed in a pre-existing class whose data
+      // drifted from the plan (merges can coarsen hist / set weight_only,
+      // and a congruent node added via a different route can differ more).
+      // Compare the landed data against the planned data outright.
+      if (!(eg.data(*real) == entries_[index_of(orig)].data)) reuse = false;
+    }
+    node.children[i] = *real;
   }
-  auto added = eg.try_add(std::move(node));
-  if (!added.has_value()) {
-    entry.commit_failed = true;
-    return std::nullopt;
+  std::optional<Id> added;
+  if (reuse) {
+    added = eg.try_add_planned(std::move(node), entry.data);
+  } else {
+    added = eg.try_add(std::move(node));
+    if (!added.has_value()) {
+      entry.commit_failed = true;
+      return std::nullopt;
+    }
   }
   entry.committed = *added;
   return added;

@@ -61,6 +61,13 @@ struct EClass {
   /// (parent e-node as inserted, parent class at insertion) — repaired lazily.
   std::vector<std::pair<TNode, Id>> parents;
   ValueInfo data;
+  /// Bumped every time a merge joins another class's data into this one
+  /// (whether or not the join changed anything — conservative). Lets the
+  /// apply pipeline's commit phase prove "this class's analysis data is
+  /// bit-identical to what the plan phase read" without storing a copy:
+  /// find(c) == c and an unchanged epoch imply unchanged data, because
+  /// merge() is the only ValueInfo mutator.
+  uint32_t data_epoch{0};
 };
 
 class EGraph {
@@ -72,6 +79,15 @@ class EGraph {
   /// Adds an e-node (children are e-class ids; they get canonicalized).
   /// Returns nullopt if the analysis rejects it (shape check failure).
   std::optional<Id> try_add(TNode node);
+
+  /// try_add, but with the analysis data supplied by the caller instead of
+  /// re-running infer() — the commit half of the apply pipeline uses this to
+  /// kill the double shape-infer on new nodes. Sound only when the caller
+  /// can prove every child's analysis data is bit-identical to what the
+  /// plan-time infer consumed (see NodeBuffer::commit's reuse guard); the
+  /// result is then exactly what try_add would have produced. Never fails
+  /// the shape check (the plan already passed it on identical inputs).
+  Id try_add_planned(TNode node, const ValueInfo& data);
 
   /// Adds an e-node that must be valid; throws on shape-check failure.
   Id add(TNode node);
@@ -99,6 +115,10 @@ class EGraph {
 
   [[nodiscard]] const EClass& eclass(Id id) const { return classes_[find(id)]; }
   [[nodiscard]] const ValueInfo& data(Id id) const { return classes_[find(id)].data; }
+  /// Merge counter of `id`'s canonical class (see EClass::data_epoch).
+  [[nodiscard]] uint32_t data_epoch(Id id) const {
+    return classes_[find(id)].data_epoch;
+  }
 
   /// Ids of all canonical (live) e-classes.
   [[nodiscard]] std::vector<Id> canonical_classes() const;
@@ -123,7 +143,33 @@ class EGraph {
   /// Number of e-nodes, excluding filtered ones.
   [[nodiscard]] size_t num_enodes() const;
   /// Number of e-nodes including filtered ones (the paper's e-graph size).
-  [[nodiscard]] size_t num_enodes_total() const { return hashcons_.size(); }
+  /// A maintained counter (the hash-cons is sharded by op symbol).
+  [[nodiscard]] size_t num_enodes_total() const { return num_enodes_total_; }
+
+  /// One node of a sharded batch commit (see commit_prepared): the e-node
+  /// in final-id form plus a pointer to its plan-time analysis data (owned
+  /// by the caller, alive until commit_prepared returns).
+  struct PreparedNode {
+    TNode node;
+    const ValueInfo* data;
+  };
+
+  /// Batch-inserts `nodes` as brand-new e-classes with pre-assigned dense
+  /// ids base .. base+k-1, where base == num_ids() at call time; node i's
+  /// children may reference canonical existing classes or earlier batch
+  /// nodes by final id (base + j, j < i). The caller guarantees the e-graph
+  /// is clean (rebuilt, no pending merges), every node is absent from the
+  /// hash-cons, children are canonical, and the batch has no duplicates —
+  /// exactly what the optimizer's sharded-commit resolve pass establishes.
+  ///
+  /// All ordered artifacts (ids, stamps, journal entries, version) are
+  /// assigned serially up front; only the hash-cons / op-index / parent /
+  /// class-body fills run on the pool, partitioned over a fixed shard count
+  /// by op symbol (hash-cons, op-index) and child class (parents). Every
+  /// per-container append happens in ascending batch order regardless of
+  /// the partition, so the resulting e-graph is bit-identical for any
+  /// `threads` value, including 1. Returns base.
+  Id commit_prepared(const std::vector<PreparedNode>& nodes, size_t threads);
 
   /// Marks an e-node of `class_id` as filtered (adds it to the filter list).
   /// `index` addresses eclass(class_id).nodes.
@@ -153,6 +199,19 @@ class EGraph {
  private:
   void repair(Id id);
   static void join_data(ValueInfo& into, const ValueInfo& from);
+  /// Creates a brand-new singleton class for `node` (already canonical and
+  /// known absent from the hash-cons) carrying `data`. The shared tail of
+  /// try_add / try_add_planned.
+  Id insert_new_class(TNode node, ValueInfo data);
+  /// The hash-cons shard holding `node` (sharded by op symbol so disjoint
+  /// regions of a batch commit can fill concurrently).
+  std::unordered_map<TNode, Id, TNodeHash>& shard(const TNode& node) {
+    return hashcons_[static_cast<size_t>(node.op)];
+  }
+  [[nodiscard]] const std::unordered_map<TNode, Id, TNodeHash>& shard(
+      const TNode& node) const {
+    return hashcons_[static_cast<size_t>(node.op)];
+  }
 
   /// classes_with_op's dirty-path memo: the canonicalized bucket for one op,
   /// valid while the e-graph stays at `version`.
@@ -168,7 +227,12 @@ class EGraph {
   mutable std::vector<OpCacheEntry> op_cache_;
   // Deque: eclass()/data() references must survive later try_add() appends.
   std::deque<EClass> classes_;
-  std::unordered_map<TNode, Id, TNodeHash> hashcons_;
+  // Hash-cons, sharded by op symbol (one map per op). Serial code treats the
+  // shards as one logical map through shard(); commit_prepared fills
+  // disjoint shards concurrently. num_enodes_total_ tracks the summed size.
+  std::vector<std::unordered_map<TNode, Id, TNodeHash>> hashcons_{
+      static_cast<size_t>(Op::kOpCount)};
+  size_t num_enodes_total_{0};
   std::vector<Id> pending_;
   CycleJournal* journal_{nullptr};
   uint64_t version_{0};
@@ -215,15 +279,42 @@ class NodeBuffer {
   /// children first, memoizing per entry. Real ids pass through find().
   /// Returns nullopt if a shape check fails at commit time — possible when
   /// intervening merges coarsened an analysis value the plan relied on.
+  ///
+  /// Analysis reuse: when every child's live analysis data is provably
+  /// bit-identical to what stage()'s infer consumed (real children: still
+  /// canonical + unchanged data_epoch; staged children: landed class data
+  /// equals the planned data), the planned ValueInfo is handed to
+  /// try_add_planned and the commit-time re-infer is skipped — infer() is
+  /// deterministic, so the result is exactly the legacy one. Any drift
+  /// falls back to the full try_add re-infer path, shape failures included.
   std::optional<Id> commit(EGraph& eg, Id id);
 
   /// The snapshot this buffer stages against.
   [[nodiscard]] const EGraph& egraph() const { return *eg_; }
 
+  /// Batch-resolve support (the optimizer's sharded commit reads staged
+  /// entries directly instead of replaying them through commit()): the
+  /// staged entry behind `id`, children still in mixed real/staged form,
+  /// and its planned analysis data. `staged_index` maps a staged id to its
+  /// dense entry index in [0, size()).
+  [[nodiscard]] const TNode& staged_node(Id id) const {
+    return entries_[index_of(id)].node;
+  }
+  [[nodiscard]] const ValueInfo& staged_data(Id id) const {
+    return entries_[index_of(id)].data;
+  }
+  [[nodiscard]] static constexpr size_t staged_index(Id id) {
+    return index_of(id);
+  }
+
  private:
   struct Entry {
     TNode node;  // children: canonical class ids or staged ids
     ValueInfo data;
+    /// Per-child EGraph::data_epoch captured at stage() time (0 for staged
+    /// children — their guard compares landed data directly). Parallel to
+    /// node.children; powers commit()'s analysis-reuse proof.
+    std::vector<uint32_t> child_epochs;
     Id committed{kInvalidId};
     bool commit_failed{false};
   };

@@ -64,12 +64,19 @@ size_t search_work_estimate(const EGraph& eg,
                             const std::vector<const Program*>& progs);
 
 /// Minimum search_work_estimate for which search_all dispatches its worker
-/// pool. Below it a sweep completes in well under the cost of spawning
-/// threads (the BENCH_ematch.json "parallel" section measured 0.53-0.93x
-/// "speedups" on seed-sized graphs before this gate existed), so the sweep
-/// runs on the calling thread. Results are identical either way — this is
-/// purely a dispatch decision.
-constexpr size_t kMinParallelSearchWork = 4096;
+/// pool. Below it a sweep completes in well under the cost of a dispatch,
+/// so the sweep runs on the calling thread. Results are identical either
+/// way — this is purely a dispatch decision.
+///
+/// History: 4096 when dispatching meant spawning std::threads (the
+/// BENCH_ematch.json "parallel" section measured 0.53-0.93x "speedups" on
+/// seed-sized graphs before the gate existed). The persistent
+/// work-stealing pool (support/pool.h) cut the dispatch cost from tens of
+/// microseconds per worker to about a microsecond total, so the
+/// break-even moved down an order of magnitude; BENCH_ematch.json's
+/// "pool" section tracks the pool-vs-spawning ratio that justifies the
+/// lower floor.
+constexpr size_t kMinParallelSearchWork = 256;
 
 /// Searches many programs against one read-only e-graph using up to `threads`
 /// workers (0 = hardware concurrency). results[i] always corresponds to

@@ -362,13 +362,16 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
   // ---- Solve the cores in parallel, merge in core order ------------------
   MilpOptions milp_opt_base;
   milp_opt_base.rel_gap = options.rel_gap;
-  // Dispatch gate (the kMinParallelSearchWork lesson): spawning workers for
-  // a handful of tiny MILPs costs more than solving them, so the DEFAULT
+  // Dispatch gate (the kMinParallelSearchWork lesson): parallelizing a
+  // handful of tiny MILPs costs more than solving them, so the DEFAULT
   // (core_threads == 0) solves small instances on the calling thread —
   // identical results either way. An explicit thread count is honored
   // unconditionally, so tests and sanitizer jobs can force the pooled path.
+  // The floor dropped 512 -> 128 with the persistent pool: dispatch is a
+  // queue push, not a thread spawn, so only truly trivial core sets stay
+  // serial.
   size_t core_threads = options.core_threads;
-  if (core_threads == 0 && (cores.size() <= 1 || vars_total < 512))
+  if (core_threads == 0 && (cores.size() <= 1 || vars_total < 128))
     core_threads = 1;
   parallel_for(cores.size(), core_threads, [&](size_t k) {
     // Per-core solve span on the worker's lane (arg = core index) — the

@@ -188,6 +188,42 @@ bool commit_application(EGraph& eg, const Application& app, const ApplyPlan& pla
   return changed;
 }
 
+/// Sharded-commit working state: the prepared batch plus the cross-chunk
+/// deduplication map (final-form node -> final id). Fresh ids are assigned
+/// densely from `base` in first-resolution order — a pure function of the
+/// plan order, independent of every thread count.
+struct BatchCommit {
+  Id base{0};
+  std::vector<EGraph::PreparedNode> prepared;
+  std::unordered_map<TNode, Id, TNodeHash> dedup;
+};
+
+/// Resolves one staged id to its final e-class id, children first,
+/// memoizing per chunk entry. Sound because the resolve pass runs against
+/// the untouched clean snapshot (no merges precede it in batch mode): real
+/// children are still canonical, every all-real staged node is still
+/// absent from the hash-cons (stage() proved absence and nothing was
+/// added), and a node with a fresh child cannot pre-exist (no live node
+/// references an id >= base). Resolution therefore cannot fail — the plan
+/// already passed the only gate (shape inference) on identical inputs.
+Id resolve_staged(const PlanChunk& chunk, std::vector<Id>& memo, Id id,
+                  BatchCommit& bc, size_t& fresh) {
+  if (!NodeBuffer::is_staged(id)) return id;  // canonical real id
+  const size_t idx = NodeBuffer::staged_index(id);
+  if (memo[idx] != kInvalidId) return memo[idx];
+  TNode node = chunk.buf.staged_node(id);
+  for (Id& c : node.children) c = resolve_staged(chunk, memo, c, bc, fresh);
+  const Id next_id = bc.base + static_cast<Id>(bc.prepared.size());
+  auto [it, inserted] = bc.dedup.emplace(node, next_id);
+  if (inserted) {
+    bc.prepared.push_back(
+        EGraph::PreparedNode{std::move(node), &chunk.buf.staged_data(id)});
+    ++fresh;
+  }
+  memo[idx] = it->second;
+  return it->second;
+}
+
 }  // namespace
 
 EGraph seed_egraph(const Graph& input) {
@@ -233,7 +269,8 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
   std::unique_ptr<IncrementalCycleAnalysis> inc_cycles;
   if (incremental_cycles) {
     Timer dmap_timer;
-    inc_cycles = std::make_unique<IncrementalCycleAnalysis>(eg);
+    inc_cycles = std::make_unique<IncrementalCycleAnalysis>(
+        eg, /*fallback_fraction=*/0.5, options.apply_threads);
     stats.dmap_seconds += dmap_timer.seconds();
   }
   for (int iter = 0; iter < options.k_max; ++iter) {
@@ -515,31 +552,118 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         });
       }
 
-      // STAGE 2 (serial, fast): commit in plan order. Node and time limits
-      // are enforced between applications exactly as the direct path does;
-      // exceeding the time limit stops the whole apply phase (the stop
-      // reason is recorded after the rebuild below).
       const trace::ScopedSpan commit_span("explore/commit");
-      std::vector<Id> committed;
-      for (size_t i = 0; i < apps.size(); ++i) {
-        if (eg.num_enodes_total() >= options.node_limit) {
-          hit_node_limit = true;
-          break;
+      if (options.sharded_commit) {
+        // STAGE 2, batch mode: (a) serial resolve in plan order assigns
+        // every fresh node a dense final id (pure function of the plans —
+        // independent of all thread counts), (b) commit_prepared inserts
+        // the whole batch with a parallel sharded fill, (c) a serial merge
+        // pass in plan order performs the unions. Limits are enforced
+        // between applications during resolve: the node check projects the
+        // pending batch so batch mode stops at the same effective size the
+        // serial path would, and an application either resolves fully or
+        // not at all (per-app atomicity).
+        BatchCommit bc;
+        bc.base = static_cast<Id>(eg.num_ids());
+        std::vector<std::vector<Id>> memos(chunks.size());
+        for (size_t c = 0; c < chunks.size(); ++c)
+          memos[c].assign(chunks[c].buf.size(), kInvalidId);
+        struct ResolvedApp {
+          uint32_t app_index;
+          uint32_t targets_first;
+          uint32_t targets_count;
+        };
+        std::vector<ResolvedApp> resolved;
+        std::vector<Id> final_targets;
+        for (size_t i = 0; i < apps.size(); ++i) {
+          if (eg.num_enodes_total() + bc.prepared.size() >=
+              options.node_limit) {
+            hit_node_limit = true;
+            break;
+          }
+          if (timer.seconds() > options.explore_time_limit_s) {
+            hit_time_limit = true;
+            break;
+          }
+          if (!plans[i].viable) continue;
+          RuleTelemetry& rt = stats.rules[apps[i].rule_index];
+          const SecondsGuard resolve_guard(rt.seconds);
+          const PlanChunk& chunk = chunks[i / kPlanChunk];
+          std::vector<Id>& memo = memos[i / kPlanChunk];
+          size_t fresh = 0;
+          const uint32_t first = static_cast<uint32_t>(final_targets.size());
+          for (uint32_t k = 0; k < plans[i].targets_count; ++k) {
+            final_targets.push_back(
+                resolve_staged(chunk, memo,
+                               chunk.targets[plans[i].targets_first + k], bc,
+                               fresh));
+          }
+          rt.nodes_added += fresh;
+          resolved.push_back(ResolvedApp{static_cast<uint32_t>(i), first,
+                                         plans[i].targets_count});
         }
-        if (timer.seconds() > options.explore_time_limit_s) {
-          hit_time_limit = true;
-          break;
+        const Id commit_base = eg.commit_prepared(bc.prepared,
+                                                  options.apply_threads);
+        TENSAT_CHECK(commit_base == bc.base,
+                     "sharded commit base drifted: " << commit_base
+                                                     << " != " << bc.base);
+        // Serial merge pass — the determinism anchor. Soundness is
+        // re-verified on the live analysis data exactly as
+        // commit_application does: merges earlier in the batch can have
+        // joined analysis values since the plan compared the snapshot.
+        for (const ResolvedApp& ra : resolved) {
+          const Application& app = apps[ra.app_index];
+          RuleTelemetry& rt = stats.rules[app.rule_index];
+          const SecondsGuard merge_guard(rt.seconds);
+          bool sound = true;
+          for (uint32_t k = 0; k < ra.targets_count && sound; ++k) {
+            sound = merge_sound(eg.data(app.src_classes[k]),
+                                eg.data(final_targets[ra.targets_first + k]));
+          }
+          if (!sound) continue;
+          bool changed = false;
+          for (uint32_t k = 0; k < ra.targets_count; ++k) {
+            const Id src = eg.find(app.src_classes[k]);
+            const Id dst = eg.find(final_targets[ra.targets_first + k]);
+            if (src == dst) continue;
+            if (options.cycle_filter == CycleFilterMode::kVanilla &&
+                merge_would_create_cycle(eg, src, dst)) {
+              continue;
+            }
+            changed |= eg.merge(src, dst);
+          }
+          if (changed) {
+            ++stats.applications;
+            ++rt.committed;
+          }
         }
-        if (!plans[i].viable) continue;
-        RuleTelemetry& rt = stats.rules[apps[i].rule_index];
-        const SecondsGuard commit_guard(rt.seconds);
-        const size_t nodes_before = eg.num_enodes_total();
-        if (commit_application(eg, apps[i], plans[i], chunks[i / kPlanChunk],
-                               options.cycle_filter, committed)) {
-          ++stats.applications;
-          ++rt.committed;
+      } else {
+        // STAGE 2, serial mode: commit one application at a time in plan
+        // order, interleaving inserts and merges exactly like the direct
+        // path. Node and time limits are enforced between applications;
+        // exceeding the time limit stops the whole apply phase (the stop
+        // reason is recorded after the rebuild below).
+        std::vector<Id> committed;
+        for (size_t i = 0; i < apps.size(); ++i) {
+          if (eg.num_enodes_total() >= options.node_limit) {
+            hit_node_limit = true;
+            break;
+          }
+          if (timer.seconds() > options.explore_time_limit_s) {
+            hit_time_limit = true;
+            break;
+          }
+          if (!plans[i].viable) continue;
+          RuleTelemetry& rt = stats.rules[apps[i].rule_index];
+          const SecondsGuard commit_guard(rt.seconds);
+          const size_t nodes_before = eg.num_enodes_total();
+          if (commit_application(eg, apps[i], plans[i], chunks[i / kPlanChunk],
+                                 options.cycle_filter, committed)) {
+            ++stats.applications;
+            ++rt.committed;
+          }
+          rt.nodes_added += eg.num_enodes_total() - nodes_before;
         }
-        rt.nodes_added += eg.num_enodes_total() - nodes_before;
       }
     } else {
       // Legacy direct path: condition checks, pre-filters, and instantiation

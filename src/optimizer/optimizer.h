@@ -103,6 +103,29 @@ struct TensatOptions {
   /// serial boundary, so any apply_threads/search_threads value still yields
   /// a bit-identical e-graph.
   bool incremental_cycles = true;
+  /// True (default) replaces stage 2's per-application hash-cons replay
+  /// with the sharded batch commit: a serial *resolve* pass walks the
+  /// viable plans in plan order, maps every staged node to a pre-assigned
+  /// fresh e-class id (deduplicating across plan chunks), and enforces the
+  /// node/time limits between applications; EGraph::commit_prepared then
+  /// fills the op-sharded hash-cons, op-index, and parent lists with
+  /// apply_threads pool workers; finally a serial *merge* pass re-checks
+  /// merge soundness on live data and merges in plan order — the
+  /// determinism anchor. Because ids, stamps, and every per-container
+  /// append order are fixed by the serial passes, the e-graph is
+  /// bit-identical for any apply_threads value (tests/apply_pipeline_test
+  /// pins 1/2/8 threads across the full toggle matrix).
+  ///
+  /// This is a distinct commit *mode*, not a bit-for-bit replay of the
+  /// serial stage 2: the serial path interleaves merges between
+  /// applications, so a later application's commit can collapse onto a
+  /// class an earlier merge canonicalized, where the batch path inserts
+  /// the plan-time form and lets rebuild()'s congruence pass collapse it.
+  /// The two modes agree semantically (same iterations/stop/extraction on
+  /// the differential suite) and each is deterministic; false keeps the
+  /// serial per-application commit as the differential baseline. Only
+  /// meaningful with staged_apply.
+  bool sharded_commit = true;
 };
 
 /// Cumulative per-rule telemetry across all exploration iterations, indexed

@@ -1,17 +1,29 @@
-// Minimal fork-join fan-out for read-only work: runs fn(0..n-1) across a
-// small worker pool fed by an atomic index counter. Built for the pattern
-// searches of the exploration loop (the e-matching VM is read-only over a
-// clean e-graph), where determinism comes from the caller writing results
+// Fork-join fan-out for the exploration loop: runs fn(0..n-1) across the
+// persistent work-stealing pool (support/pool.h) fed by an atomic chunk
+// cursor. Built for the pattern searches, apply planning, cycle row-DP, and
+// extraction cores, where determinism comes from the caller writing results
 // into per-index slots and merging in index order — worker scheduling then
 // cannot influence anything observable.
+//
+// parallel_for used to spawn fresh std::threads per call; dispatch cost
+// (tens of microseconds per thread) exceeded many whole sub-millisecond
+// regions, which is why BENCH_ematch.json's parallel rows sat at ~1x. The
+// pool-backed version dispatches in ~1 allocation + a condvar wake. The old
+// spawning implementation survives as spawning_parallel_for: it is the
+// baseline bench_ematch_report section 8 gates the pool against (>= 1.5x),
+// and a semantics oracle for tests/parallel_pool_test.cpp.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
+
+#include "support/pool.h"
 
 namespace tensat {
 
@@ -23,14 +35,37 @@ inline size_t resolve_threads(size_t hint) {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
-/// Runs fn(i) for every i in [0, n) using up to `threads` workers (0 = one
-/// per hardware thread; the calling thread always participates). Items are
-/// claimed from an atomic counter, so the item-to-worker assignment is
-/// nondeterministic — fn must only write state owned by its own index. The
-/// first exception any fn throws is rethrown on the calling thread after all
-/// workers have stopped; remaining unclaimed items are skipped.
+/// Runs fn(i) for every i in [0, n) using up to `threads` participants of
+/// the process-wide work-stealing pool (0 = one per hardware thread; the
+/// calling thread always participates). Items are claimed in chunks from an
+/// atomic cursor, so the item-to-worker assignment is nondeterministic — fn
+/// must only write state owned by its own index. Returns only once every
+/// item is accounted for: either all of fn(0..n-1) ran, or an fn threw and
+/// the first exception is rethrown here after the remaining items were
+/// explicitly skipped (never silently dropped). The pool stays usable after
+/// an exception.
 template <typename Fn>
 void parallel_for(size_t n, size_t threads, Fn&& fn) {
+  threads = std::min(resolve_threads(threads), n);
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  using F = std::remove_reference_t<Fn>;
+  WorkStealingPool::global().for_each(
+      n, threads, [](void* ctx, size_t i) { (*static_cast<F*>(ctx))(i); },
+      const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+}
+
+/// The pre-pool implementation: spawns `threads - 1` fresh std::threads per
+/// call and joins them before returning. Kept as the measured baseline for
+/// bench_ematch_report's pool section and as a differential oracle in the
+/// pool tests — not for production call sites (dispatch costs tens of
+/// microseconds per thread per call). Note its failure path keeps the old
+/// semantics the pool fixed: after an exception, remaining unclaimed items
+/// are skipped without being accounted (the exception is still rethrown).
+template <typename Fn>
+void spawning_parallel_for(size_t n, size_t threads, Fn&& fn) {
   threads = std::min(resolve_threads(threads), n);
   if (threads <= 1) {
     for (size_t i = 0; i < n; ++i) fn(i);

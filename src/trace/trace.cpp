@@ -104,6 +104,11 @@ void Tracer::instant(const char* name, int64_t arg, bool has_arg) {
       Event{name, Event::Kind::kInstant, now_us(), 0.0, arg, has_arg});
 }
 
+void Tracer::stat(const char* name, int64_t value) {
+  lane().events.push_back(
+      Event{name, Event::Kind::kStat, now_us(), 0.0, value, true});
+}
+
 void Tracer::incr(const char* name, int64_t delta) {
   Lane& l = lane();
   for (auto& [n, sum] : l.totals) {
@@ -119,6 +124,7 @@ Summary Tracer::summary() const {
   Summary s;
   std::map<std::string, Summary::SpanAgg> spans;
   std::map<std::string, Summary::CounterSeries> counters;
+  std::map<std::string, Summary::CounterSeries> stats;
   std::map<std::string, int64_t> totals;
   const std::lock_guard<std::mutex> lock(lanes_mu_);
   for (const auto& lane : lanes_) {
@@ -144,12 +150,19 @@ Summary Tracer::summary() const {
           ++agg.count;
           break;
         }
+        case Event::Kind::kStat: {
+          auto& series = stats[e.name];
+          series.name = e.name;
+          series.values.push_back(e.arg);
+          break;
+        }
       }
     }
     for (const auto& [name, sum] : lane->totals) totals[name] += sum;
   }
   for (auto& [name, agg] : spans) s.spans.push_back(std::move(agg));
   for (auto& [name, series] : counters) s.counters.push_back(std::move(series));
+  for (auto& [name, series] : stats) s.stats.push_back(std::move(series));
   for (const auto& [name, value] : totals)
     s.totals.push_back(Summary::Total{name, value});
   return s;
@@ -210,6 +223,7 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
           out << ",\"ph\":\"X\",\"ts\":" << num;
           break;
         case Event::Kind::kCounter:
+        case Event::Kind::kStat:
           std::snprintf(num, sizeof(num), "%.3f", e.ts_us);
           out << ",\"ph\":\"C\",\"ts\":" << num;
           break;
@@ -219,7 +233,7 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
           break;
       }
       out << ",\"pid\":0,\"tid\":" << t;
-      if (e.kind == Event::Kind::kCounter) {
+      if (e.kind == Event::Kind::kCounter || e.kind == Event::Kind::kStat) {
         out << ",\"args\":{\"value\":" << e.arg << '}';
       } else if (e.has_arg) {
         out << ",\"args\":{\"arg\":" << e.arg << '}';

@@ -43,8 +43,15 @@ namespace tensat::trace {
 /// One recorded event. Spans are stored complete (begin + duration, Chrome
 /// "X" phase) rather than as begin/end pairs: half the events, and a span
 /// can never be left dangling by an early return.
+///
+/// kStat is a counter sample whose *value* is inherently scheduling-
+/// dependent (work-stealing pool queue depths, steal counts): it renders in
+/// the Chrome trace like a counter but is excluded from
+/// Summary::deterministic_digest(), so pool telemetry can never break the
+/// cross-thread-count digest pins. Use kCounter for values the determinism
+/// contract covers, kStat for values it cannot.
 struct Event {
-  enum class Kind : uint8_t { kSpan, kCounter, kInstant };
+  enum class Kind : uint8_t { kSpan, kCounter, kInstant, kStat };
   const char* name;
   Kind kind;
   double ts_us;    // steady-clock microseconds since tracer construction
@@ -71,6 +78,9 @@ struct Summary {
   std::vector<SpanAgg> spans;        // sorted by name
   std::vector<CounterSeries> counters;  // sorted by name
   std::vector<Total> totals;         // sorted by name
+  std::vector<CounterSeries> stats;  // kStat samples, sorted by name —
+                                     // nondeterministic telemetry, NOT part
+                                     // of deterministic_digest()
   size_t events{0};                  // total events across all lanes
 
   /// The deterministic view serialized: span names + counts, counter value
@@ -112,6 +122,9 @@ class Tracer {
   void counter(const char* name, int64_t value);
   /// Records an instant event (Chrome "i" phase).
   void instant(const char* name, int64_t arg = 0, bool has_arg = false);
+  /// Records a scheduling-dependent telemetry sample (Event::Kind::kStat):
+  /// shown as a Chrome "C" counter, excluded from the deterministic digest.
+  void stat(const char* name, int64_t value);
   /// Adds `delta` to the aggregate total for `name`. Lock-free (per-lane
   /// accumulation, summed at merge time); safe and deterministic from any
   /// thread — use for worker-side tallies like MILP iteration counts.
@@ -180,6 +193,12 @@ inline void instant(const char* name, int64_t arg = 0, bool has_arg = false) {
 /// Aggregate-total increment on the installed tracer; no-op when disabled.
 inline void incr(const char* name, int64_t delta) {
   if (Tracer* t = Tracer::current()) t->incr(name, delta);
+}
+
+/// Scheduling-dependent telemetry sample (digest-excluded); no-op when
+/// disabled.
+inline void stat(const char* name, int64_t value) {
+  if (Tracer* t = Tracer::current()) t->stat(name, value);
 }
 
 }  // namespace tensat::trace

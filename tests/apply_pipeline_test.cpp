@@ -1,6 +1,8 @@
 // The staged apply pipeline (optimizer/optimizer.cpp): stage 1 plans every
 // pending application read-only against the clean e-graph, stage 2 commits
-// staged nodes and merges serially in plan order, stage 3 is the single
+// staged nodes and merges in plan order — either serially one application
+// at a time (sharded_commit = false) or via the batch path (serial resolve,
+// parallel sharded insert, serial merge) — and stage 3 is the single
 // rebuild. These tests pin its two contracts:
 //
 //  * determinism: the explored e-graph is bit-identical (same class ids,
@@ -77,14 +79,22 @@ TensatOptions explore_options() {
 // ---- Determinism across apply_threads --------------------------------------
 
 TEST(ApplyPipeline, FingerprintIdenticalForAnyThreadCount) {
-  for (const ModelInfo& m : seed_examples()) {
-    TensatOptions opt = explore_options();
-    opt.apply_threads = 1;
-    const std::string baseline = explore_and_fingerprint(m.graph, opt);
-    for (size_t threads : {2u, 8u}) {
-      opt.apply_threads = threads;
-      EXPECT_EQ(baseline, explore_and_fingerprint(m.graph, opt))
-          << m.name << " with apply_threads=" << threads;
+  // Both commit modes must be bit-identical across thread counts: the
+  // sharded batch commit's only scheduling-dependent stage is the
+  // commit_prepared parallel fill, whose every container receives entries
+  // in ascending batch order regardless of which worker fills which shard.
+  for (bool sharded : {true, false}) {
+    for (const ModelInfo& m : seed_examples()) {
+      TensatOptions opt = explore_options();
+      opt.sharded_commit = sharded;
+      opt.apply_threads = 1;
+      const std::string baseline = explore_and_fingerprint(m.graph, opt);
+      for (size_t threads : {2u, 8u}) {
+        opt.apply_threads = threads;
+        EXPECT_EQ(baseline, explore_and_fingerprint(m.graph, opt))
+            << m.name << " sharded=" << sharded
+            << " apply_threads=" << threads;
+      }
     }
   }
 }
@@ -94,20 +104,24 @@ TEST(ApplyPipeline, IncrementalCyclesDeterministicAcrossThreadCounts) {
   // rebuild boundary, so its map — and with it the pre-filter's answers and
   // the filtered node set — must be a pure function of the e-graph state,
   // never of worker count or scheduling: bit-identical e-graphs for any
-  // apply_threads/search_threads combination, in both cycle modes.
-  for (bool incremental : {true, false}) {
-    for (const ModelInfo& m : seed_examples()) {
-      TensatOptions opt = explore_options();
-      opt.incremental_cycles = incremental;
-      opt.search_threads = 1;
-      opt.apply_threads = 1;
-      const std::string baseline = explore_and_fingerprint(m.graph, opt);
-      for (size_t threads : {2u, 8u}) {
-        opt.search_threads = threads;
-        opt.apply_threads = threads;
-        EXPECT_EQ(baseline, explore_and_fingerprint(m.graph, opt))
-            << m.name << " incremental=" << incremental
-            << " threads=" << threads;
+  // apply_threads/search_threads combination, in both cycle modes, with the
+  // sharded commit on or off (the full toggle matrix).
+  for (bool sharded : {true, false}) {
+    for (bool incremental : {true, false}) {
+      for (const ModelInfo& m : seed_examples()) {
+        TensatOptions opt = explore_options();
+        opt.sharded_commit = sharded;
+        opt.incremental_cycles = incremental;
+        opt.search_threads = 1;
+        opt.apply_threads = 1;
+        const std::string baseline = explore_and_fingerprint(m.graph, opt);
+        for (size_t threads : {2u, 8u}) {
+          opt.search_threads = threads;
+          opt.apply_threads = threads;
+          EXPECT_EQ(baseline, explore_and_fingerprint(m.graph, opt))
+              << m.name << " sharded=" << sharded
+              << " incremental=" << incremental << " threads=" << threads;
+        }
       }
     }
   }
@@ -135,10 +149,19 @@ TEST(ApplyPipeline, StagedMatchesLegacyDirectPath) {
   // commits nothing. Staged is therefore never larger than legacy on these
   // workloads (commit-time shape failures, which can also strand nodes on
   // the staged path, do not occur here — no mid-iteration analysis joins).
+  //
+  // Pinned to sharded_commit = false: the size comparisons below hold only
+  // for the serial commit, whose interleaved insert/merge collapses
+  // would-be duplicates through the live hash-cons before inserting. Batch
+  // mode resolves against the clean snapshot, so duplicates that a merge
+  // earlier in the same batch would have collapsed land as separate nodes
+  // and fall to the rebuild — a distinct valid mode, covered by
+  // ShardedCommitMatchesSerialCommitSemantically below.
   for (CycleFilterMode mode :
        {CycleFilterMode::kEfficient, CycleFilterMode::kVanilla}) {
     for (const ModelInfo& m : seed_examples()) {
       TensatOptions opt = explore_options();
+      opt.sharded_commit = false;
       opt.cycle_filter = mode;
 
       opt.staged_apply = false;
@@ -169,6 +192,60 @@ TEST(ApplyPipeline, StagedMatchesLegacyDirectPath) {
             << m.name << " mode=" << static_cast<int>(mode);
       }
     }
+  }
+}
+
+// ---- Sharded batch commit vs serial commit ---------------------------------
+
+TEST(ApplyPipeline, ShardedCommitMatchesSerialCommitSemantically) {
+  // Batch mode inserts the whole iteration's fresh nodes before any merge,
+  // so nodes the serial commit would have collapsed through the live
+  // hash-cons instead collapse at the rebuild. The two modes are therefore
+  // not bit-replays of each other — the e-graphs can hold different (but
+  // equivalent) node sets, and greedy extraction may break cost ties toward
+  // different representatives. What must agree is the semantics: the run
+  // stops for the same reason, extraction succeeds on both, and the
+  // extracted graphs cost exactly the same.
+  for (bool incremental : {true, false}) {
+    for (const ModelInfo& m : seed_examples()) {
+      TensatOptions opt = explore_options();
+      opt.incremental_cycles = incremental;
+
+      opt.sharded_commit = false;
+      EGraph serial = seed_egraph(m.graph);
+      const ExploreStats serial_stats =
+          run_exploration(serial, default_rules(), opt);
+      opt.sharded_commit = true;
+      EGraph sharded = seed_egraph(m.graph);
+      const ExploreStats sharded_stats =
+          run_exploration(sharded, default_rules(), opt);
+
+      EXPECT_GT(sharded_stats.applications, 0u) << m.name;
+      EXPECT_EQ(serial_stats.stop, sharded_stats.stop)
+          << m.name << " incremental=" << incremental;
+
+      const T4CostModel model;
+      const ExtractionResult sx = extract_greedy(serial, model);
+      const ExtractionResult bx = extract_greedy(sharded, model);
+      ASSERT_EQ(sx.ok, bx.ok) << m.name;
+      if (sx.ok) {
+        EXPECT_DOUBLE_EQ(sx.cost, bx.cost)
+            << m.name << " incremental=" << incremental;
+      }
+    }
+  }
+}
+
+TEST(ApplyPipeline, ShardedToggleIsNoOpOnLegacyDirectPath) {
+  // sharded_commit only routes the staged pipeline's stage 2; with
+  // staged_apply off it must change nothing, bit-for-bit.
+  for (const ModelInfo& m : seed_examples()) {
+    TensatOptions opt = explore_options();
+    opt.staged_apply = false;
+    opt.sharded_commit = false;
+    const std::string baseline = explore_and_fingerprint(m.graph, opt);
+    opt.sharded_commit = true;
+    EXPECT_EQ(baseline, explore_and_fingerprint(m.graph, opt)) << m.name;
   }
 }
 

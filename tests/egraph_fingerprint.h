@@ -3,7 +3,11 @@
 // (apply_pipeline_test, cycles_incremental_test, cycles_fuzz_test) — two
 // e-graphs with equal fingerprints are identical up to e-node order within a
 // class: same canonical class ids, same analysis data, same e-node sets,
-// same filtered flags.
+// same filtered flags, and — via each e-node's insertion stamp — the same
+// global insertion order. The stamps are what make the sharded-commit
+// determinism tests strong: a parallel fill that permuted insertion order
+// across thread counts would produce equal node *sets* but different
+// stamps, and the fingerprint would catch it.
 #pragma once
 
 #include <algorithm>
@@ -26,6 +30,7 @@ inline std::string fingerprint(const EGraph& eg) {
       std::ostringstream n;
       n << op_info(e.node.op).name << '/' << e.node.num << '/' << e.node.str.str();
       for (Id c : e.node.children) n << ' ' << eg.find(c);
+      n << " @" << e.stamp;
       if (e.filtered) n << " [filtered]";
       nodes.push_back(n.str());
     }

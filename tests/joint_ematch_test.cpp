@@ -265,22 +265,27 @@ TEST(ParallelSearch, IdenticalToSerialAcrossThreadCounts) {
 }
 
 TEST(ParallelSearch, TinySweepsSkipThePoolAndStayIdentical) {
-  // Thread spawns cost more than a whole sweep over a seed-sized e-graph
-  // (BENCH_ematch.json's "parallel" section measured 0.53-0.93x before the
-  // dispatch gate existed): sweeps whose work estimate falls below
-  // kMinParallelSearchWork must run serially — observable through the
-  // estimate itself — while returning the same matches as any pool.
+  // Sweeps whose work estimate falls below kMinParallelSearchWork must run
+  // serially — observable through the estimate itself — while returning the
+  // same matches as any pool. The floor dropped 4096 -> 256 with the
+  // persistent pool (a dispatch is a queue push, not a thread spawn), so a
+  // full-ruleset sweep over a seed e-graph now *crosses* it; the
+  // below-floor regime is pinned with a single-pattern sweep instead.
   EGraph eg = seed_egraph(make_nasrnn(1, 4, 32));
   const MultiPlan plan = build_multi_plan(default_rules());
   std::vector<const ematch::Program*> progs;
   for (const CanonicalPattern& cp : plan.patterns) progs.push_back(&cp.program);
 
-  // A seed e-graph (a few dozen classes, a couple dozen patterns) is far
-  // below the threshold: search_all takes the serial path for it.
-  const size_t estimate = ematch::search_work_estimate(eg, progs);
-  EXPECT_LT(estimate, ematch::kMinParallelSearchWork);
-  EXPECT_GT(estimate, 0u);
+  // One pattern over a few dozen classes sits far below even the lowered
+  // floor: search_all takes the serial path for it...
+  const std::vector<const ematch::Program*> one(progs.begin(),
+                                                progs.begin() + 1);
+  const size_t tiny_estimate = ematch::search_work_estimate(eg, one);
+  EXPECT_LT(tiny_estimate, ematch::kMinParallelSearchWork);
+  EXPECT_GT(tiny_estimate, 0u);
 
+  // ...and whichever side of the gate a sweep lands on, the matches are
+  // identical (checked on the full pattern set, which may dispatch).
   const auto serial = ematch::search_all(eg, progs, 1);
   const auto gated = ematch::search_all(eg, progs, 8);
   ASSERT_EQ(gated.size(), serial.size());

@@ -196,6 +196,40 @@ TEST(Tracer, CrossThreadMergeIsDeterministic) {
   EXPECT_NE(d1.find("total weight=2016"), std::string::npos);
 }
 
+TEST(Tracer, StatsSurfaceInSummaryButNotInDigest) {
+  // kStat events carry scheduling-dependent telemetry — pool steal counts,
+  // queue depths — whose values legitimately differ run to run and thread
+  // count to thread count. They must surface in the summary and the Chrome
+  // export, and must be invisible to the deterministic digest (which the
+  // determinism suites compare across thread counts).
+  const auto run = [](int64_t steals) {
+    trace::Tracer tracer;
+    tracer.install();
+    trace::counter("size", 10);
+    trace::stat("pool/steals", steals);
+    trace::stat("pool/steals", steals + 1);
+    tracer.uninstall();
+    return tracer.summary();
+  };
+  const trace::Summary a = run(3);
+  const trace::Summary b = run(900);  // wildly different stat values
+  ASSERT_EQ(a.stats.size(), 1u);
+  EXPECT_EQ(a.stats[0].name, "pool/steals");
+  EXPECT_EQ(a.stats[0].values, (std::vector<int64_t>{3, 4}));
+  EXPECT_EQ(a.deterministic_digest(), b.deterministic_digest());
+  EXPECT_EQ(a.deterministic_digest().find("pool/steals"), std::string::npos);
+
+  // The Chrome export does show them (as counter tracks).
+  trace::Tracer tracer;
+  tracer.install();
+  trace::stat("pool/queue_depth", 7);
+  tracer.uninstall();
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  EXPECT_TRUE(json_valid(out.str()));
+  EXPECT_NE(out.str().find("pool/queue_depth"), std::string::npos);
+}
+
 TEST(Tracer, ChromeTraceJsonIsValid) {
   trace::Tracer tracer;
   tracer.install();
