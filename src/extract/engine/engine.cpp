@@ -1,7 +1,9 @@
 #include "extract/engine/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
+#include <set>
 #include <unordered_map>
 
 #include "extract/engine/problem.h"
@@ -28,7 +30,10 @@ using exteng::Problem;
 /// per-B&B-node path.
 struct Core {
   explicit Core(size_t num_slots)
-      : first_var(num_slots, -1), var_count(num_slots, 0), topo_var(num_slots, -1) {}
+      : first_var(num_slots, -1),
+        var_count(num_slots, 0),
+        topo_var(num_slots, -1),
+        class_var(num_slots, -1) {}
   std::vector<uint32_t> members;           // class slots, ascending
   std::vector<uint32_t> decision_vars{};   // parallel arrays: owning class...
   std::vector<int32_t> decision_option{};  // ...and option index (-1 = pseudo-leaf)
@@ -37,6 +42,7 @@ struct Core {
   std::vector<int32_t> first_var;  // class slot -> first var id, -1 if absent
   std::vector<int32_t> var_count;  // class slot -> its var count
   std::vector<int32_t> topo_var;   // class slot -> t variable, -1 if none
+  std::vector<int32_t> class_var;  // class slot -> selection indicator, -1 if none
   std::vector<uint32_t> forced_members;
   std::optional<std::vector<double>> warm;
   MilpResult milp;
@@ -87,6 +93,15 @@ std::optional<std::vector<double>> closure_to_x(
         }
       }
     }
+  }
+  // Selection indicators are determined by their equality rows: s_c = the
+  // class's chosen-option mass.
+  for (uint32_t s : core.members) {
+    if (core.class_var[s] < 0) continue;
+    double mass = 0.0;
+    const int first = core.first_var[s];
+    for (int v = first; v < first + core.var_count[s]; ++v) mass += x[v];
+    x[core.class_var[s]] = mass;
   }
   if (cycle_constraints) {
     std::unordered_map<int32_t, int> rank;  // per-SCC running rank
@@ -210,22 +225,31 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
     ++scc_size[c.scc];
   }
 
-  // Per-core refusal threshold: the decomposed analog of the monolithic
-  // max_instance_nodes cap — instance size no longer matters, core size does.
+  // Per-core budget: the decomposed analog of the monolithic
+  // max_instance_nodes cap — instance size no longer matters, core size
+  // does. Oversized cores drop to the LP-relaxation + rounding fallback
+  // (one B&B root node) instead of refusing the whole extraction, unless
+  // lp_fallback is off (the pre-fallback baseline).
   size_t vars_total = 0;
-  for (const Core& core : cores) {
+  std::vector<uint8_t> fallback(cores.size(), 0);
+  for (size_t k = 0; k < cores.size(); ++k) {
     size_t vars = 0;
-    for (uint32_t s : core.members) {
+    for (uint32_t s : cores[k].members) {
       const ClassSlot& c = p.classes[s];
       vars += c.collapsed ? 1 : p.live_option_count(s);
     }
     vars_total += vars;
     result.stats.largest_core_vars = std::max(result.stats.largest_core_vars, vars);
+    if (vars > options.max_core_nodes && options.lp_fallback) {
+      fallback[k] = 1;
+      ++result.stats.fallback_cores;
+    }
   }
   result.stats.num_cores = num_components;
   result.stats.milp_vars_total = vars_total;
   result.num_vars = vars_total;
-  if (result.stats.largest_core_vars > options.max_core_nodes) {
+  if (result.stats.largest_core_vars > options.max_core_nodes &&
+      !options.lp_fallback) {
     result.too_large = true;
     result.timed_out = true;
     result.stats.lp_build_seconds += phase_timer.seconds();
@@ -274,8 +298,16 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
       }
     }
 
-    // Selection rows: forced classes must pick exactly one; others at most
-    // one (which also tightens the LP relaxation, as in the monolithic).
+    // Selection rows: forced classes must pick exactly one. Non-forced
+    // multi-option classes get a binary selection INDICATOR s_c tied by
+    // sum(x_i) - s_c = 0 (which subsumes the old <= 1 row: s_c's [0,1]
+    // bound caps the sum). The indicator exists to branch on: fixing one
+    // option variable lets the LP shift its mass to a sibling option of
+    // the same class with no bound movement, while s_c = 0 kills every
+    // option and s_c = 1 forces a full unit of selection through the
+    // class — the dichotomy that actually resolves a chained core.
+    // Single-option classes need neither: the lone variable is its own
+    // indicator.
     for (uint32_t s : core.members) {
       const ClassSlot& c = p.classes[s];
       const int first = core.first_var[s];
@@ -286,9 +318,12 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
         for (int v = first; v < first + count; ++v) terms.emplace_back(v, 1.0);
         core.lp.add_row(std::move(terms), 1.0, 1.0);
       } else if (count >= 2) {
+        core.class_var[s] = core.lp.add_var(0.0, 1.0, 0.0);
+        core.integral.push_back(true);
         std::vector<std::pair<int, double>> terms;
         for (int v = first; v < first + count; ++v) terms.emplace_back(v, 1.0);
-        core.lp.add_row(std::move(terms), -kInf, 1.0);
+        terms.emplace_back(core.class_var[s], -1.0);
+        core.lp.add_row(std::move(terms), 0.0, 0.0);
       }
     }
 
@@ -362,6 +397,8 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
   // ---- Solve the cores in parallel, merge in core order ------------------
   MilpOptions milp_opt_base;
   milp_opt_base.rel_gap = options.rel_gap;
+  milp_opt_base.sparse = options.sparse_lp;
+  milp_opt_base.warm_start_basis = options.warm_start_basis;
   // Dispatch gate (the kMinParallelSearchWork lesson): parallelizing a
   // handful of tiny MILPs costs more than solving them, so the DEFAULT
   // (core_threads == 0) solves small instances on the calling thread —
@@ -386,6 +423,26 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
     // immediately, keeping its warm-start incumbent if it has one.
     milp_opt.time_limit_s =
         std::max(0.0, options.time_limit_s - timer.seconds());
+    // Oversized core: LP-relaxation + iterative-rounding fallback. Explore
+    // only the B&B root node — root LP, vector dive, LP-guided rounding —
+    // and keep the root LP bound as the gap certificate.
+    if (fallback[k]) milp_opt.max_nodes = 1;
+    // Weigh class-selection indicators by the cost their dichotomy puts in
+    // play (see MilpOptions::branch_weight): selecting the class costs at
+    // least its cheapest option, and 2x biases ties toward the class-level
+    // split, which moves the bound where an option split only shuffles
+    // mass between siblings.
+    milp_opt.branch_weight.assign(core.lp.num_vars(), 0.0);
+    for (int v = 0; v < core.lp.num_vars(); ++v)
+      milp_opt.branch_weight[v] = 1.0 + std::abs(core.lp.objective[v]);
+    for (uint32_t s : core.members) {
+      if (core.class_var[s] < 0) continue;
+      double cheapest = kInfCost;
+      const int first = core.first_var[s];
+      for (int v = first; v < first + core.var_count[s]; ++v)
+        cheapest = std::min(cheapest, core.lp.objective[v]);
+      milp_opt.branch_weight[core.class_var[s]] = 2.0 * (1.0 + cheapest);
+    }
     // LP-guided rounding, mirroring the monolithic: per class the largest
     // fractional variable, DP choice as fallback, closed under dependencies.
     milp_opt.rounding = [&](const std::vector<double>& xfrac)
@@ -416,6 +473,117 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
       return closure_to_x(p, core, options.cycle_constraints,
                           options.integer_topo_vars, scc_size, choose_rounded);
     };
+    // AND-OR hitting-set cuts, separated at the B&B root (cut & branch).
+    // The plain relaxation of a chained core decays geometrically: a parent
+    // picked at eps only charges each child class eps of selection mass, so
+    // depth-d classes contribute ~2^-d of their cost and the root LP bound
+    // is nearly vacuous (observed 18.5 vs a 209.4 optimum on explored
+    // BERT). Every feasible selection derives each forced anchor, and a
+    // derivation through option o activates ALL of o's covered children —
+    // so replacing a frontier class f by one covered child per live option
+    // of f keeps the frontier a hitting set for every selection. Walking
+    // the frontier toward minimum fractional mass finds the depth where the
+    // decay hides, and `sum of S's selection vars >= 1` restores full unit
+    // mass there. Valid for every integer point, independent of branching
+    // bounds, so the strengthened best_bound stays a certificate.
+    milp_opt.cut_generator = [&core, &p](const std::vector<double>& xfrac)
+        -> std::vector<LinearProgram::Row> {
+      auto class_mass = [&](uint32_t s) {
+        double m = 0.0;
+        const int first = core.first_var[s];
+        for (int v = first; v < first + core.var_count[s]; ++v) m += xfrac[v];
+        return m;
+      };
+      std::vector<LinearProgram::Row> cuts;
+      std::set<std::vector<uint32_t>> emitted;
+      for (uint32_t anchor : core.forced_members) {
+        std::set<uint32_t> frontier{anchor};
+        std::set<uint32_t> sticky;
+        std::vector<std::vector<uint32_t>> snapshots;  // improving frontiers
+        double best_mass = 1.0 - 1e-4;  // emit only strictly violated sets
+        for (int step = 0; step < 4096; ++step) {
+          double mass = 0.0;
+          for (uint32_t s : frontier) mass += class_mass(s);
+          if (mass < best_mass) {
+            best_mass = mass;
+            snapshots.emplace_back(frontier.begin(), frontier.end());
+          }
+          // Expand the heaviest non-sticky member one level down.
+          bool found = false;
+          uint32_t f = 0;
+          double fm = -1.0;
+          for (uint32_t s : frontier) {
+            if (sticky.count(s)) continue;
+            const double m = class_mass(s);
+            if (m > fm) {
+              fm = m;
+              f = s;
+              found = true;
+            }
+          }
+          if (!found) break;
+          const ClassSlot& c = p.classes[f];
+          bool expandable = !c.collapsed;
+          std::vector<uint32_t> chosen;
+          for (size_t k = 0; expandable && k < c.options.size(); ++k) {
+            if (c.options[k].pruned) continue;
+            int32_t pick = -1;
+            double pick_mass = kInfCost;
+            for (uint32_t child : c.options[k].children) {
+              const ClassSlot& w = p.classes[child];
+              // Mirror the cover-row filter exactly: only children the LP
+              // actually forces can extend the hitting set.
+              if (w.removed || w.interior || w.free || w.forced) continue;
+              const double m = frontier.count(child) ? 0.0 : class_mass(child);
+              if (m < pick_mass - 1e-12) {
+                pick_mass = m;
+                pick = static_cast<int32_t>(child);
+              }
+            }
+            if (pick < 0)
+              expandable = false;  // uncovered option: cannot hit below f
+            else
+              chosen.push_back(static_cast<uint32_t>(pick));
+          }
+          if (!expandable ||
+              (chosen.size() == 1 && chosen[0] == f)) {  // self-loop only
+            sticky.insert(f);
+            continue;
+          }
+          frontier.erase(f);
+          for (uint32_t w : chosen) frontier.insert(w);
+        }
+        // Deepest (lowest-mass) snapshots first; a handful per anchor keeps
+        // rounds few without flooding the LP with correlated rows. Wide
+        // frontiers are dropped outright: a dense hitting-set row buys
+        // little bound (its unit of mass spreads over many classes) and
+        // costs every later solve dearly — LU fill-in from dense rows is
+        // what turns warm node LPs from milliseconds into tenths.
+        constexpr size_t kMaxCutWidth = 48;
+        const size_t take = std::min<size_t>(snapshots.size(), 8);
+        for (size_t i = snapshots.size() - take; i < snapshots.size(); ++i) {
+          if (snapshots[i].size() > kMaxCutWidth) continue;
+          if (!emitted.insert(snapshots[i]).second) continue;
+          LinearProgram::Row row;
+          for (uint32_t s : snapshots[i]) {
+            // One term per class: the selection indicator where one exists
+            // (same value as the option sum, by its equality row), else the
+            // class's option variables.
+            if (core.class_var[s] >= 0) {
+              row.terms.emplace_back(core.class_var[s], 1.0);
+            } else {
+              for (int v = core.first_var[s];
+                   v < core.first_var[s] + core.var_count[s]; ++v)
+                row.terms.emplace_back(v, 1.0);
+            }
+          }
+          row.lo = 1.0;
+          row.hi = kInf;
+          cuts.push_back(std::move(row));
+        }
+      }
+      return cuts;
+    };
     core.milp = solve_milp(core.lp, core.integral, milp_opt, core.warm);
   });
   phase_mark("extract/solve");
@@ -427,10 +595,21 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
   // feasible; no incumbent anywhere, or an infeasible core, fails it.
   result.milp_status = MilpStatus::kOptimal;
   double bound = p.base_cost;
-  for (const Core& core : cores) {
-    result.timed_out = result.timed_out || core.milp.timed_out;
+  for (size_t k = 0; k < cores.size(); ++k) {
+    const Core& core = cores[k];
+    // A fallback core stops at its one-node budget, which the B&B reports
+    // as timed_out; with an incumbent in hand that is the intended
+    // bounded-gap outcome, not a failure, so it does not mark the
+    // extraction timed out.
+    const bool fallback_ok =
+        fallback[k] && (core.milp.status == MilpStatus::kFeasible ||
+                        core.milp.status == MilpStatus::kOptimal);
+    result.timed_out =
+        result.timed_out || (core.milp.timed_out && !fallback_ok);
     result.bb_nodes += core.milp.nodes_explored;
     result.lp_iterations += core.milp.lp_iterations;
+    result.stats.warm_start_hits += core.milp.warm_start_hits;
+    result.stats.refactorizations += core.milp.refactorizations;
     if (core.milp.status == MilpStatus::kInfeasible)
       result.milp_status = MilpStatus::kInfeasible;
     else if (core.milp.status == MilpStatus::kNoSolution &&
@@ -483,6 +662,9 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
       result.graph = std::move(greedy.graph);
       result.cost = greedy.cost;
       result.ok = true;
+      result.stats.gap =
+          std::max(0.0, (result.cost - result.best_bound) /
+                            std::max(std::abs(result.cost), 1e-12));
     }
     return result;
   }
@@ -490,6 +672,8 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
   result.graph.single_root();
   result.cost = graph_cost(result.graph, model);
   result.ok = true;
+  result.stats.gap = std::max(0.0, (result.cost - result.best_bound) /
+                                       std::max(std::abs(result.cost), 1e-12));
   phase_mark("extract/stitch");
   result.stats.stitch_seconds = phase_timer.seconds();
   return result;

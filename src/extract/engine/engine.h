@@ -31,11 +31,19 @@ struct ExtractEngineOptions : IlpExtractOptions {
   /// False delegates to the monolithic extract_ilp — identical behavior to
   /// the pre-engine code path, kept as the differential baseline.
   bool decompose = true;
-  /// Per-core refusal threshold on decision variables, replacing the
-  /// monolithic max_instance_nodes (which the engine deliberately ignores
-  /// when decomposing: the whole point is that total instance size no longer
+  /// Per-core budget on decision variables, replacing the monolithic
+  /// max_instance_nodes (which the engine deliberately ignores when
+  /// decomposing: the whole point is that total instance size no longer
   /// bounds what is solvable — only the largest residual core does).
+  /// Cores over the budget are handled per lp_fallback.
   size_t max_core_nodes = 2600;
+  /// Oversized cores (> max_core_nodes decision variables) are solved by
+  /// the LP-relaxation + iterative-rounding fallback — a single B&B root
+  /// node: root LP, vector dive, LP-guided rounding — returning a feasible
+  /// selection with a certified gap (ExtractStats::gap) instead of a
+  /// too_large refusal. false restores the refusal, the pre-fallback
+  /// baseline.
+  bool lp_fallback = true;
   /// Worker threads for the per-core MILP solves. 0 (default) = one per
   /// hardware thread, except that single-core or tiny instances solve on
   /// the calling thread (thread spawns would cost more than the solves);

@@ -452,6 +452,8 @@ IlpExtractionResult extract_ilp(const EGraph& eg, const CostModel& model,
   MilpOptions milp_opt;
   milp_opt.time_limit_s = options.time_limit_s;
   milp_opt.rel_gap = options.rel_gap;
+  milp_opt.sparse = options.sparse_lp;
+  milp_opt.warm_start_basis = options.warm_start_basis;
   // LP-guided rounding: per class take the variable with the largest
   // fractional value (falling back to greedy for classes the LP zeroes);
   // this is how good incumbents appear long before optimality is proven.
@@ -491,6 +493,8 @@ IlpExtractionResult extract_ilp(const EGraph& eg, const CostModel& model,
   result.bb_nodes = milp.nodes_explored;
   result.best_bound = milp.best_bound;
   result.lp_iterations = milp.lp_iterations;
+  result.stats.warm_start_hits = milp.warm_start_hits;
+  result.stats.refactorizations = milp.refactorizations;
 
   if (milp.status != MilpStatus::kOptimal && milp.status != MilpStatus::kFeasible) {
     return result;
@@ -521,6 +525,9 @@ IlpExtractionResult extract_ilp(const EGraph& eg, const CostModel& model,
       result.graph = std::move(greedy.graph);
       result.cost = greedy.cost;
       result.ok = true;
+      result.stats.gap =
+          std::max(0.0, (result.cost - result.best_bound) /
+                            std::max(std::abs(result.cost), 1e-12));
     }
     return result;
   }
@@ -528,6 +535,8 @@ IlpExtractionResult extract_ilp(const EGraph& eg, const CostModel& model,
   result.graph.single_root();
   result.cost = graph_cost(result.graph, model);
   result.ok = true;
+  result.stats.gap = std::max(0.0, (result.cost - result.best_bound) /
+                                       std::max(std::abs(result.cost), 1e-12));
   result.stats.stitch_seconds = phase_timer.seconds();
   return result;
 }

@@ -49,6 +49,14 @@ struct ExtractStats {
   size_t largest_core_vars{0};   // decision variables of the biggest core
   size_t milp_vars_total{0};     // decision variables summed over cores
   double base_cost{0.0};         // constant cost folded out of the MILPs
+  size_t fallback_cores{0};  // oversized cores solved by the LP-relaxation +
+                             // rounding fallback (bounded gap, no proof)
+  int warm_start_hits{0};    // node LPs restored from a parent basis
+  int refactorizations{0};   // sparse-basis rebuilds across all node LPs
+  /// Certified relative optimality gap of the returned graph:
+  /// (cost - best_bound) / max(|cost|, eps). 0 when optimality was proven;
+  /// kInf when extraction produced no graph.
+  double gap{kInf};
 };
 
 /// Greedy extraction from the e-graph's root class.
@@ -72,6 +80,13 @@ struct IlpExtractOptions {
   /// rel_gap * |incumbent| of the proven bound is reported optimal. Tests
   /// that pin exact engine-vs-monolithic cost parity set this to 0.
   double rel_gap = 1e-3;
+  /// Per-node LPs through the sparse revised simplex (LpOptions::sparse);
+  /// false = the dense tableau, the differential baseline.
+  bool sparse_lp = true;
+  /// Child B&B nodes re-solve from the parent's basis
+  /// (MilpOptions::warm_start_basis); false = every node cold, the
+  /// warm-vs-cold baseline.
+  bool warm_start_basis = true;
 };
 
 struct IlpExtractionResult : ExtractionResult {

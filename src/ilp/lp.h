@@ -64,14 +64,24 @@ struct LpResult {
   double objective{0.0};
   std::vector<double> x;
   int iterations{0};
+  /// Basis rebuilds (sparse path only; the dense tableau never factorizes).
+  int refactorizations{0};
+  /// True when the solve ran from a supplied warm basis without falling
+  /// back to a cold start (sparse path only).
+  bool warm{false};
 };
 
 struct LpOptions {
   int max_iterations = 500000;
   double tol = 1e-7;
+  /// Sparse revised simplex (CSC columns + eta-file basis, ilp/sparse.h).
+  /// false = the original dense tableau, kept as the differential baseline.
+  bool sparse = true;
 };
 
-/// Solves the LP with a bounded-variable two-phase primal simplex.
+/// Solves the LP with a bounded-variable two-phase primal simplex: the
+/// sparse revised implementation by default, the dense tableau when
+/// options.sparse is false.
 LpResult solve_lp(const LinearProgram& lp, const LpOptions& options = {});
 
 }  // namespace tensat

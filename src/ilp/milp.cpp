@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <queue>
 
+#include "ilp/sparse.h"
 #include "support/check.h"
 #include "support/timer.h"
 #include "trace/trace.h"
@@ -12,11 +14,21 @@ namespace tensat {
 namespace {
 
 /// One open subproblem: variable-bound overrides relative to the root LP,
-/// plus the parent's LP bound for best-first ordering.
+/// plus the parent's LP bound for best-first ordering. `warm` is the
+/// parent's optimal basis (shared by both children): the child LP differs
+/// from the parent's by one bound flip, so the basis is still dual feasible
+/// and the dual simplex restores it in a few pivots.
 struct Node {
   std::vector<std::pair<int, std::pair<double, double>>> bound_overrides;
   double parent_bound{-kInf};
   int depth{0};
+  std::shared_ptr<const SparseBasis> warm;
+  // Which branch created this node, for pseudocost learning: the variable,
+  // the distance its parent LP value was rounded (toward this child), and
+  // the direction. branch_var < 0 for the root.
+  int branch_var{-1};
+  double branch_frac{0.0};
+  bool branch_up{false};
 };
 
 struct NodeOrder {
@@ -25,21 +37,57 @@ struct NodeOrder {
   }
 };
 
-/// Picks the branching variable: among fractional masked variables, prefer
-/// high-stakes ones (fractionality weighted by objective magnitude), so the
-/// bound moves early in the tree.
+/// Per-direction pseudocosts: the LP bound gain per unit of rounded-off
+/// fractionality, averaged over the branchings the tree actually explored.
+/// Variables with history are ranked by what their dichotomies really move;
+/// unseen ones borrow the global average (same units), or the caller's
+/// static branch weight before anything has been observed.
+struct Pseudocost {
+  std::vector<double> sum_down, sum_up;
+  std::vector<int> cnt_down, cnt_up;
+  double total_rate{0.0};
+  int total_cnt{0};
+  explicit Pseudocost(size_t n)
+      : sum_down(n, 0.0), sum_up(n, 0.0), cnt_down(n, 0), cnt_up(n, 0) {}
+  void observe(int j, bool up, double frac, double gain) {
+    if (frac < 1e-9) return;
+    const double rate = std::max(0.0, gain) / frac;
+    (up ? sum_up : sum_down)[j] += rate;
+    ++(up ? cnt_up : cnt_down)[j];
+    total_rate += rate;
+    ++total_cnt;
+  }
+  double rate(int j, bool up, double fallback) const {
+    const int c = (up ? cnt_up : cnt_down)[j];
+    if (c > 0) return (up ? sum_up : sum_down)[j] / c;
+    return total_cnt > 0 ? total_rate / total_cnt : fallback;
+  }
+};
+
+/// Picks the branching variable: the product rule over the estimated bound
+/// movement of both children — a variable only scores high when BOTH sides
+/// of its dichotomy move the bound, which is what shrinks the tree.
 int pick_branch_var(const std::vector<double>& x, const std::vector<bool>& mask,
-                    const std::vector<double>& objective, double int_tol) {
+                    const std::vector<double>& objective,
+                    const std::vector<double>& weight, const Pseudocost& pc,
+                    double int_tol) {
   int best = -1;
   double best_score = 0.0;
   for (size_t j = 0; j < x.size(); ++j) {
     if (!mask[j]) continue;
-    const double frac = std::abs(x[j] - std::round(x[j]));
-    if (frac <= int_tol) continue;
-    const double score = frac * (1.0 + std::abs(objective[j]));
-    if (score > best_score) {
+    const double frac_down = x[j] - std::floor(x[j]);
+    const double frac_up = std::ceil(x[j]) - x[j];
+    if (std::min(frac_down, frac_up) <= int_tol) continue;
+    const double w =
+        j < weight.size() ? weight[j] : 1.0 + std::abs(objective[j]);
+    const int jj = static_cast<int>(j);
+    const double est_down = pc.rate(jj, false, w) * frac_down;
+    const double est_up = pc.rate(jj, true, w) * frac_up;
+    const double score =
+        std::max(est_down, 1e-6) * std::max(est_up, 1e-6);
+    if (best < 0 || score > best_score) {
       best_score = score;
-      best = static_cast<int>(j);
+      best = jj;
     }
   }
   return best;
@@ -47,17 +95,95 @@ int pick_branch_var(const std::vector<double>& x, const std::vector<bool>& mask,
 
 }  // namespace
 
-MilpResult solve_milp(const LinearProgram& lp, const std::vector<bool>& integer_mask,
+MilpResult solve_milp(const LinearProgram& lp_in, const std::vector<bool>& integer_mask,
                       const MilpOptions& options,
                       const std::optional<std::vector<double>>& warm_start) {
-  TENSAT_CHECK(static_cast<int>(integer_mask.size()) == lp.num_vars(),
+  TENSAT_CHECK(static_cast<int>(integer_mask.size()) == lp_in.num_vars(),
                "integer mask size mismatch");
   // Span on the caller's lane (engine cores call from pool workers); the
   // B&B/LP work totals go through incr(), whose per-lane sums merge into
   // deterministic aggregates regardless of which worker solved which core.
-  const trace::ScopedSpan span("milp/solve", lp.num_vars());
+  const trace::ScopedSpan span("milp/solve", lp_in.num_vars());
   Timer timer;
   MilpResult result;
+
+  // ---- Root cut loop (cut & branch) --------------------------------------
+  // Repeatedly solve the relaxation and append the generator's violated
+  // rows. The rows are valid for every integer point (the generator's
+  // contract), so the whole tree — and the reported best_bound — stays a
+  // certificate for the original problem. Sparse rounds warm-start from the
+  // previous optimal basis extended with the new rows' slacks: appended
+  // rows keep every existing column index, the new slacks are basic (still
+  // dual feasible), and the dual simplex repairs their bound violations.
+  LinearProgram augmented;
+  std::shared_ptr<const SparseBasis> root_warm;
+  if (options.cut_generator) {
+    augmented = lp_in;
+    LpOptions cut_lp_opt;
+    cut_lp_opt.sparse = options.sparse;
+    SparseBasis cut_warm;
+    bool have_warm = false;
+    double stall_ref = -kInf;  // objective at the last "real" improvement
+    int stalled = 0;
+    for (int round = 0; round < options.max_cut_rounds; ++round) {
+      if (timer.seconds() > 0.3 * options.time_limit_s) break;
+      LpResult root;
+      SparseBasis basis_now;
+      if (options.sparse) {
+        SparseLpSolver solver(augmented);
+        root = solver.solve(
+            cut_lp_opt, augmented.lower, augmented.upper,
+            have_warm && options.warm_start_basis ? &cut_warm : nullptr,
+            &basis_now);
+      } else {
+        root = solve_lp(augmented, cut_lp_opt);
+      }
+      result.lp_iterations += root.iterations;
+      result.refactorizations += root.refactorizations;
+      if (root.warm) ++result.warm_start_hits;
+      if (root.status != LpStatus::kOptimal) break;
+      // Diminishing returns: once rounds stop moving the bound, further
+      // cuts only bloat the node LPs — hand the time to branch & bound.
+      if (root.objective >
+          stall_ref + std::max(1e-6, 1e-3 * std::abs(root.objective))) {
+        stall_ref = root.objective;
+        stalled = 0;
+      } else if (++stalled >= 5) {
+        break;
+      }
+      const std::vector<LinearProgram::Row> cuts =
+          options.cut_generator(root.x);
+      if (cuts.empty()) {
+        // Relaxation is cut-clean: seed the B&B root with its basis.
+        if (!basis_now.empty())
+          root_warm = std::make_shared<const SparseBasis>(std::move(basis_now));
+        break;
+      }
+      // Slack columns are numbered n + bounded-row-index, so appending rows
+      // leaves every existing index intact.
+      size_t bounded_before = 0;
+      for (const LinearProgram::Row& r : augmented.rows)
+        if (!(r.lo == -kInf && r.hi == kInf)) ++bounded_before;
+      size_t added = 0;
+      for (const LinearProgram::Row& row : cuts) {
+        augmented.rows.push_back(row);
+        if (!(row.lo == -kInf && row.hi == kInf)) ++added;
+        ++result.cuts;
+      }
+      if (options.sparse && !basis_now.empty()) {
+        cut_warm = std::move(basis_now);
+        for (size_t i = 0; i < added; ++i) {
+          cut_warm.basic.push_back(static_cast<int32_t>(
+              augmented.num_vars() + bounded_before + i));
+          cut_warm.at_upper.push_back(0);
+        }
+        have_warm = true;
+      } else {
+        have_warm = false;
+      }
+    }
+  }
+  const LinearProgram& lp = options.cut_generator ? augmented : lp_in;
 
   if (warm_start.has_value()) {
     TENSAT_CHECK(lp.feasible(*warm_start, 1e-5), "warm start is not feasible");
@@ -72,24 +198,63 @@ MilpResult solve_milp(const LinearProgram& lp, const std::vector<bool>& integer_
   };
 
   std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
-  open.push(Node{});
+  Pseudocost pseudocost(static_cast<size_t>(lp.num_vars()));
+  Node root_node;
+  root_node.warm = std::move(root_warm);  // cut-clean basis, if any
+  open.push(std::move(root_node));
   double explored_bound_floor = kInf;  // min bound among pruned-by-bound nodes
+  double stop_frontier = kInf;  // open frontier at the rel-gap stop
+  bool gap_stop = false;
   bool exhausted = true;
 
-  LinearProgram work = lp;  // bounds mutated per node and restored after
+  // Node LPs: the persistent sparse solver shares the CSC/normalization
+  // across the whole tree (nodes differ only in bounds); the dense tableau
+  // baseline re-solves from scratch, exactly as before.
+  LinearProgram work = lp;  // dense path: bounds mutated per node
+  std::vector<double> node_lo = lp.lower;
+  std::vector<double> node_hi = lp.upper;
+  std::optional<SparseLpSolver> sparse_solver;
+  if (options.sparse) sparse_solver.emplace(lp);
+  LpOptions lp_opt;
+  lp_opt.sparse = options.sparse;
+  auto solve_node = [&](const SparseBasis* warm,
+                        SparseBasis* basis_out) -> LpResult {
+    LpResult r;
+    if (sparse_solver) {
+      r = sparse_solver->solve(lp_opt, node_lo, node_hi,
+                               options.warm_start_basis ? warm : nullptr,
+                               basis_out);
+    } else {
+      work.lower = node_lo;
+      work.upper = node_hi;
+      r = solve_lp(work, lp_opt);
+      if (basis_out != nullptr) {
+        basis_out->basic.clear();
+        basis_out->at_upper.clear();
+      }
+    }
+    result.lp_iterations += r.iterations;
+    result.refactorizations += r.refactorizations;
+    if (r.warm) ++result.warm_start_hits;
+    return r;
+  };
 
   // LP-guided diving: starting from a fractional point, repeatedly fix the
   // least-fractional integer variable to its nearest value and re-solve.
   // Finds coordinated integer solutions (e.g. a whole merged-operator
-  // subtree) that single-shot rounding misses. Bounds in `work` must be at
-  // the current node's values on entry; they are restored on exit.
-  auto dive = [&](std::vector<double> x) {
+  // subtree) that single-shot rounding misses. Bounds in node_lo/node_hi
+  // must be at the intended values on entry; they are restored on exit.
+  // Successive dive LPs chain the basis: each re-solve warm-starts from the
+  // previous one (one more bound fixed = one dual restoration).
+  auto dive = [&](std::vector<double> x, const SparseBasis* seed_basis) {
     std::vector<std::pair<int, std::pair<double, double>>> fixed;
     auto fix = [&](int j, double v) {
-      fixed.emplace_back(j, std::make_pair(work.lower[j], work.upper[j]));
-      work.lower[j] = v;
-      work.upper[j] = v;
+      fixed.emplace_back(j, std::make_pair(node_lo[j], node_hi[j]));
+      node_lo[j] = v;
+      node_hi[j] = v;
     };
+    SparseBasis dive_basis;
+    if (seed_basis != nullptr) dive_basis = *seed_basis;
     for (int depth = 0; depth < 60; ++depth) {
       if (timer.seconds() > options.time_limit_s) break;
       // Fix every near-integral variable at once ("vector diving"), plus the
@@ -120,29 +285,46 @@ MilpResult solve_milp(const LinearProgram& lp, const std::vector<bool>& integer_
         break;
       }
       fix(var, std::round(x[var]));
-      const LpResult sub = solve_lp(work);
-      result.lp_iterations += sub.iterations;
+      const LpResult sub = solve_node(&dive_basis, &dive_basis);
       if (sub.status != LpStatus::kOptimal || sub.objective >= incumbent) break;
       x = sub.x;
     }
     for (auto it = fixed.rbegin(); it != fixed.rend(); ++it) {
-      work.lower[it->first] = it->second.first;
-      work.upper[it->first] = it->second.second;
+      node_lo[it->first] = it->second.first;
+      node_hi[it->first] = it->second.second;
     }
   };
 
-  while (!open.empty()) {
+  // Plunging: after a branch, the child whose bound flip least perturbs the
+  // parent LP is solved immediately (its warm basis is the solver's LIVE
+  // one, so the eta file is reused without refactorizing — see
+  // SparseLpSolver::solve); the sibling goes to the best-bound heap.
+  // Pruning stays bound-based against the same cutoff, so plunging changes
+  // visit order, never the certificate.
+  std::optional<Node> plunge;
+  while (plunge.has_value() || !open.empty()) {
     if (timer.seconds() > options.time_limit_s ||
         result.nodes_explored >= options.max_nodes) {
       result.timed_out = true;
       exhausted = false;
       break;
     }
-    Node node = open.top();
-    open.pop();
+    const bool plunged = plunge.has_value();
+    Node node;
+    if (plunged) {
+      node = std::move(*plunge);
+      plunge.reset();
+    } else {
+      node = open.top();
+      open.pop();
+    }
     if (node.parent_bound >= cutoff()) {
+      if (plunged) continue;  // pruned mid-plunge; resume best-first
       // Best-first: every remaining node is at least as bad, so the
-      // incumbent is optimal.
+      // incumbent is optimal within the requested gap. Keep the frontier
+      // bound so the reported gap stays a real certificate.
+      stop_frontier = node.parent_bound;
+      gap_stop = true;
       while (!open.empty()) open.pop();
       break;
     }
@@ -150,17 +332,21 @@ MilpResult solve_milp(const LinearProgram& lp, const std::vector<bool>& integer_
 
     // Apply node bounds.
     for (const auto& [j, bounds] : node.bound_overrides) {
-      work.lower[j] = bounds.first;
-      work.upper[j] = bounds.second;
+      node_lo[j] = bounds.first;
+      node_hi[j] = bounds.second;
     }
-    LpResult relax = solve_lp(work);
-    result.lp_iterations += relax.iterations;
+    SparseBasis node_basis;
+    LpResult relax = solve_node(node.warm.get(), &node_basis);
     // Restore root bounds.
     for (const auto& [j, bounds] : node.bound_overrides) {
-      work.lower[j] = lp.lower[j];
-      work.upper[j] = lp.upper[j];
+      node_lo[j] = lp.lower[j];
+      node_hi[j] = lp.upper[j];
     }
 
+    if (relax.status == LpStatus::kOptimal && node.branch_var >= 0) {
+      pseudocost.observe(node.branch_var, node.branch_up, node.branch_frac,
+                         relax.objective - node.parent_bound);
+    }
     if (relax.status == LpStatus::kInfeasible) continue;
     if (relax.status == LpStatus::kUnbounded) {
       // An unbounded relaxation of a node: the MILP itself is unbounded or
@@ -179,13 +365,14 @@ MilpResult solve_milp(const LinearProgram& lp, const std::vector<bool>& integer_
     }
 
     const int branch_var =
-        pick_branch_var(relax.x, integer_mask, lp.objective, options.int_tol);
+        pick_branch_var(relax.x, integer_mask, lp.objective,
+                        options.branch_weight, pseudocost, options.int_tol);
 
     // Diving heuristic at the root and periodically afterwards (a dive costs
     // tens of LP solves, so not at every node).
     if (branch_var >= 0 &&
         (result.nodes_explored == 1 || result.nodes_explored % 200 == 0)) {
-      dive(relax.x);
+      dive(relax.x, node_basis.empty() ? node.warm.get() : &node_basis);
     }
 
     // Rounding heuristic: try to turn the fractional point into a feasible
@@ -223,33 +410,66 @@ MilpResult solve_milp(const LinearProgram& lp, const std::vector<bool>& integer_
       continue;
     }
 
-    // Branch: x_j <= floor(v)  |  x_j >= ceil(v).
+    // Branch: x_j <= floor(v)  |  x_j >= ceil(v). Both children share this
+    // node's optimal basis for their warm start; when this node produced no
+    // basis (dense path, or an artifact-carrying optimum), they inherit the
+    // ancestor's — any basis optimal for the same rows and objective stays
+    // dual feasible under arbitrary bound changes.
+    std::shared_ptr<const SparseBasis> child_warm =
+        node_basis.empty()
+            ? node.warm
+            : std::make_shared<const SparseBasis>(std::move(node_basis));
     const double v = relax.x[branch_var];
     Node down = node;
     down.parent_bound = relax.objective;
     down.depth = node.depth + 1;
+    down.warm = child_warm;
+    down.branch_var = branch_var;
+    down.branch_frac = v - std::floor(v);
+    down.branch_up = false;
     down.bound_overrides.emplace_back(
         branch_var, std::make_pair(lp.lower[branch_var], std::floor(v)));
-    Node up = node;
+    Node up = std::move(node);
     up.parent_bound = relax.objective;
-    up.depth = node.depth + 1;
+    up.depth = down.depth;
+    up.warm = std::move(child_warm);
+    up.branch_var = branch_var;
+    up.branch_frac = std::ceil(v) - v;
+    up.branch_up = true;
     up.bound_overrides.emplace_back(
         branch_var, std::make_pair(std::ceil(v), lp.upper[branch_var]));
-    open.push(std::move(down));
-    open.push(std::move(up));
+    // Plunge toward the nearest integer — the smaller perturbation, hence
+    // the cheapest dual restoration off the live basis.
+    if (v - std::floor(v) <= 0.5) {
+      plunge = std::move(down);
+      open.push(std::move(up));
+    } else {
+      plunge = std::move(up);
+      open.push(std::move(down));
+    }
   }
 
   result.seconds = timer.seconds();
-  // Lower bound: min over open/pruned frontier; if the search finished with
-  // an incumbent and nothing open, the incumbent is optimal.
-  double frontier = explored_bound_floor;
+  // Lower bound: min over open/pruned frontier (including the frontier at a
+  // rel-gap stop); if the search finished with an incumbent and nothing
+  // open, the incumbent is optimal.
+  double frontier = std::min(explored_bound_floor, stop_frontier);
   if (!open.empty()) frontier = std::min(frontier, open.top().parent_bound);
+  if (plunge.has_value()) frontier = std::min(frontier, plunge->parent_bound);
   if (result.status == MilpStatus::kFeasible) {
-    if (exhausted && open.empty()) {
+    if (exhausted && open.empty() && !plunge.has_value() && !gap_stop) {
       result.status = MilpStatus::kOptimal;
       result.best_bound = result.objective;
+      result.gap = 0.0;
     } else {
       result.best_bound = std::min(frontier, result.objective);
+      result.gap =
+          std::max(0.0, (result.objective - result.best_bound) /
+                            std::max(std::abs(result.objective), 1e-12));
+      // Within the requested gap of the proven frontier: reported optimal,
+      // as MILP solvers conventionally do — but with the true bound kept,
+      // so IlpExtractOptions::rel_gap terminates early WITH a certificate.
+      if (gap_stop) result.status = MilpStatus::kOptimal;
     }
   } else if (open.empty() && exhausted) {
     result.status = MilpStatus::kInfeasible;
@@ -258,6 +478,15 @@ MilpResult solve_milp(const LinearProgram& lp, const std::vector<bool>& integer_
   }
   trace::incr("milp/bb_nodes", static_cast<int64_t>(result.nodes_explored));
   trace::incr("milp/lp_iterations", static_cast<int64_t>(result.lp_iterations));
+  trace::incr("milp/warm_start_hits",
+              static_cast<int64_t>(result.warm_start_hits));
+  trace::incr("milp/refactorizations",
+              static_cast<int64_t>(result.refactorizations));
+  trace::incr("milp/cuts", static_cast<int64_t>(result.cuts));
+  trace::incr("milp/gap_ppm",
+              result.gap == kInf
+                  ? 1000000
+                  : std::llround(std::min(result.gap, 1.0) * 1e6));
   return result;
 }
 

@@ -38,6 +38,37 @@ struct MilpOptions {
   /// integrality) before being accepted as incumbents. Optional.
   std::function<std::optional<std::vector<double>>(const std::vector<double>&)>
       rounding;
+  /// Per-node LPs through the persistent sparse revised simplex (one
+  /// SparseLpSolver per solve_milp call — the CSC and normalization are
+  /// shared by every node, only bounds differ). false = the dense tableau,
+  /// from scratch at every node: the differential baseline.
+  bool sparse = true;
+  /// Child nodes re-solve from the parent's optimal basis (dual simplex
+  /// restoration after the branch bound flip). Only meaningful with
+  /// `sparse`; false forces every node cold — the warm-vs-cold baseline.
+  bool warm_start_basis = true;
+  /// Problem-specific cutting planes, separated at the root ("cut &
+  /// branch"): given a fractional root LP solution, returns rows VALID FOR
+  /// EVERY integer-feasible point (never just for the current relaxation),
+  /// so the strengthened bound stays a certificate for the original
+  /// problem. Rounds repeat — re-solve, separate, append — until the
+  /// generator returns nothing, the bound stalls for five rounds,
+  /// max_cut_rounds is hit, or 30% of the time budget is gone. On the
+  /// sparse path each round warm-starts from the
+  /// previous basis extended with the new rows' slacks (basic, so still
+  /// dual feasible); the dense baseline re-solves cold, and both paths see
+  /// the identical cut sequence — the LP-path differential stays exact.
+  std::function<std::vector<LinearProgram::Row>(const std::vector<double>&)>
+      cut_generator;
+  int max_cut_rounds = 200;
+  /// Per-variable branching score weight: candidates are ranked by
+  /// fractionality * weight, where weight defaults to 1 + |objective|.
+  /// Lets zero-objective auxiliary variables carry the stakes they stand
+  /// for: extraction weighs class-selection indicators by their class's
+  /// option costs, so whole-class dichotomies — which actually move the
+  /// bound, where fixing one option merely shifts mass to a sibling —
+  /// compete with (and usually beat) per-option branching.
+  std::vector<double> branch_weight;
 };
 
 struct MilpResult {
@@ -45,8 +76,19 @@ struct MilpResult {
   std::vector<double> x;
   double objective{0.0};
   double best_bound{-kInf};  // proven lower bound on the optimum
+  /// Certified relative optimality gap: (objective - best_bound) /
+  /// max(|objective|, eps). 0 when optimality was proven by exhausting the
+  /// tree; kInf when there is no incumbent. A rel-gap or time-limit stop
+  /// reports the true frontier bound, so the gap is a real certificate.
+  double gap{kInf};
   int nodes_explored{0};
   int lp_iterations{0};
+  /// LP solves that reused a parent/previous basis without a cold restart.
+  int warm_start_hits{0};
+  /// Basis refactorizations across all node LPs (sparse path only).
+  int refactorizations{0};
+  /// Cutting planes added by the root cut loop (cut_generator).
+  int cuts{0};
   double seconds{0.0};
   bool timed_out{false};
 };

@@ -12,6 +12,7 @@
 #include <cmath>
 
 #include "ilp/lp.h"
+#include "ilp/sparse.h"
 #include "support/check.h"
 
 namespace tensat {
@@ -336,6 +337,10 @@ class Simplex {
 }  // namespace
 
 LpResult solve_lp(const LinearProgram& lp, const LpOptions& options) {
+  if (options.sparse) {
+    SparseLpSolver solver(lp);
+    return solver.solve(options, lp.lower, lp.upper);
+  }
   Simplex solver(lp, options);
   return solver.run(lp);
 }

@@ -20,11 +20,13 @@ void print_extract_phases(std::FILE* out, const ExtractStats& stats,
                           const char* label) {
   std::fprintf(out,
                "%s: reach %.3fs, reduce %.3fs, lp-build %.3fs, solve %.3fs, "
-               "stitch %.3fs (%zu cores, largest %zu vars of %zu classes)\n",
+               "stitch %.3fs (%zu cores, largest %zu vars of %zu classes, "
+               "gap %.2e, warm %d, refactor %d, fallback %zu)\n",
                label, stats.reach_seconds, stats.reduce_seconds,
                stats.lp_build_seconds, stats.solve_seconds,
                stats.stitch_seconds, stats.num_cores, stats.largest_core_vars,
-               stats.classes_reachable);
+               stats.classes_reachable, stats.gap, stats.warm_start_hits,
+               stats.refactorizations, stats.fallback_cores);
 }
 
 void print_rule_profile(std::FILE* out, const ExploreStats& stats,

@@ -414,14 +414,34 @@ TEST(ExtractEngine, CyclicSelectionWithoutConstraintsFallsBackToGreedy) {
   EXPECT_GT(engine.graph.topo_order().size(), 0u);  // the fallback is a DAG
 }
 
-TEST(ExtractEngine, CoreTooLargeReported) {
+TEST(ExtractEngine, CoreTooLargeRefusedWithoutFallback) {
   EGraph eg = shared_matmul_egraph();
   ExtractEngineOptions opt;
   opt.max_core_nodes = 1;
+  opt.lp_fallback = false;  // pre-fallback baseline: refuse outright
   const EngineExtractionResult r = extract_engine(eg, model(), opt);
   EXPECT_FALSE(r.ok);
   EXPECT_TRUE(r.too_large);
   EXPECT_TRUE(r.timed_out);
+}
+
+TEST(ExtractEngine, OversizedCoreFallsBackToLpRounding) {
+  EGraph eg = shared_matmul_egraph();
+  ExtractEngineOptions opt;
+  opt.max_core_nodes = 1;  // forces every core through the fallback
+  const EngineExtractionResult r = extract_engine(eg, model(), opt);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.too_large);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_GE(r.stats.fallback_cores, 1u);
+  // Feasible selection, never worse than the greedy warm start, with a
+  // certified gap against the root LP bound.
+  const ExtractionResult greedy = extract_greedy(eg, model());
+  ASSERT_TRUE(greedy.ok);
+  EXPECT_LE(r.cost, greedy.cost + 1e-9);
+  EXPECT_GE(r.cost, r.best_bound - 1e-6);
+  EXPECT_GE(r.stats.gap, 0.0);
+  EXPECT_LT(r.stats.gap, kInf);
 }
 
 TEST(ExtractEngine, MonolithicDelegationMatchesExtractIlp) {

@@ -44,6 +44,69 @@ TEST(Milp, KnapsackOptimal) {
   EXPECT_NEAR(r.x[0], 0.0, 1e-6);
 }
 
+TEST(Milp, ProvenOptimumHasZeroGap) {
+  LinearProgram lp;
+  lp.add_var(0, 1, -1.0);
+  lp.add_var(0, 1, -1.0);
+  lp.add_row({{0, 2.0}, {1, 2.0}}, -kInf, 3.0);
+  MilpOptions opt;
+  opt.rel_gap = 0.0;
+  const MilpResult r = solve_milp(lp, {true, true}, opt);
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_EQ(r.gap, 0.0);
+  EXPECT_NEAR(r.best_bound, r.objective, 1e-9);
+}
+
+TEST(Milp, RelGapStopKeepsCertifiedBound) {
+  // A loose rel_gap accepts the first incumbent; the reported bound must
+  // stay the true LP frontier (-1.5 here), making the gap a certificate —
+  // not get snapped to the incumbent.
+  LinearProgram lp;
+  lp.add_var(0, 1, -1.0);
+  lp.add_var(0, 1, -1.0);
+  lp.add_row({{0, 2.0}, {1, 2.0}}, -kInf, 3.0);
+  MilpOptions opt;
+  opt.rel_gap = 0.9;
+  const MilpResult r = solve_milp(lp, {true, true}, opt,
+                                  std::vector<double>{1.0, 0.0});
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);  // within the requested gap
+  EXPECT_NEAR(r.objective, -1.0, 1e-6);
+  EXPECT_LE(r.best_bound, r.objective + 1e-9);
+  EXPECT_GE(r.best_bound, -1.5 - 1e-6);  // true relaxation frontier
+  EXPECT_NEAR(r.gap, (r.objective - r.best_bound) / std::abs(r.objective),
+              1e-9);
+  EXPECT_LE(r.gap, opt.rel_gap + 1e-9);
+}
+
+TEST(Milp, NodeLimitFallbackReportsFiniteGap) {
+  // max_nodes = 1 is the engine's LP-relaxation + rounding fallback: one
+  // root node (LP + dive + rounding) must still return an incumbent and the
+  // root bound, with gap = (obj - bound) / |obj|.
+  LinearProgram lp;
+  Rng rng(11);
+  for (int j = 0; j < 12; ++j) lp.add_var(0, 1, rng.uniform(0.5, 3.0));
+  for (int r = 0; r < 8; ++r) {
+    LinearProgram::Row row;
+    for (int j = 0; j < 12; ++j)
+      if (rng.chance(0.4)) row.terms.emplace_back(j, 1.0);
+    if (row.terms.empty()) row.terms.emplace_back(0, 1.0);
+    row.lo = 1.0;
+    row.hi = kInf;
+    lp.rows.push_back(row);
+  }
+  MilpOptions opt;
+  opt.max_nodes = 1;
+  opt.rel_gap = 0.0;
+  const MilpResult r = solve_milp(lp, std::vector<bool>(12, true), opt);
+  ASSERT_TRUE(r.status == MilpStatus::kFeasible ||
+              r.status == MilpStatus::kOptimal);
+  EXPECT_TRUE(lp.feasible(r.x, 1e-6));
+  EXPECT_TRUE(std::isfinite(r.best_bound));
+  EXPECT_TRUE(std::isfinite(r.gap));
+  EXPECT_GE(r.gap, 0.0);
+  EXPECT_GE(r.objective, r.best_bound - 1e-9);
+}
+
 TEST(Milp, InfeasibleDetected) {
   // x + y = 1 with x,y binary and x + y >= 2 impossible... use x+y=1 and
   // x+y=2 rows.
