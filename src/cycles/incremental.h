@@ -120,6 +120,12 @@ class IncrementalCycleAnalysis final : public ReachabilityMap {
 
   [[nodiscard]] const IncrementalCycleStats& stats() const { return stats_; }
 
+  /// The e-graph this analysis is attached to. A session persisting the
+  /// analysis across run_exploration calls uses this to verify it is being
+  /// resumed against the same e-graph (the journal and closure are
+  /// meaningless against any other).
+  [[nodiscard]] const EGraph* egraph() const { return eg_; }
+
  private:
   void rebuild_fresh();
   /// Assigns a dense row/column index to a class that has none, reusing a

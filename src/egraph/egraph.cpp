@@ -7,6 +7,13 @@
 
 namespace tensat {
 
+void EGraph::set_cycle_journal(CycleJournal* journal) {
+  TENSAT_CHECK(journal == nullptr || journal_ == nullptr || journal == journal_,
+               "a cycle journal is already attached; detach it first "
+               "(a displaced consumer would resume from a stale epoch)");
+  journal_ = journal;
+}
+
 TNode EGraph::canonicalize(TNode node) const {
   for (Id& c : node.children) c = find(c);
   return node;

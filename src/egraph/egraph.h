@@ -188,8 +188,12 @@ class EGraph {
   /// Attaches (or, with nullptr, detaches) a change journal: while attached,
   /// try_add/merge/set_filtered append to it. The journal must outlive the
   /// attachment and is drained/cleared by its consumer, never by the
-  /// e-graph. Detach before moving the e-graph.
-  void set_cycle_journal(CycleJournal* journal) { journal_ = journal; }
+  /// e-graph. Detach before moving the e-graph. Attaching a second journal
+  /// over a live one throws: the displaced consumer would silently stop
+  /// seeing changes and resume from a stale epoch — exactly the bug a
+  /// session that persists its cycle analysis across run_exploration calls
+  /// would otherwise hit (service_test.cpp pins this).
+  void set_cycle_journal(CycleJournal* journal);
   [[nodiscard]] CycleJournal* cycle_journal() const { return journal_; }
 
   /// The designated root e-class (set after add_graph via set_root).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <set>
 #include <unordered_map>
@@ -10,11 +11,75 @@
 #include "extract/engine/reduce.h"
 #include "extract/engine/scc.h"
 #include "ilp/milp.h"
+#include "support/hash.h"
 #include "support/parallel.h"
 #include "support/timer.h"
 #include "trace/trace.h"
 
 namespace tensat {
+
+std::optional<MilpWarmCache::Entry> MilpWarmCache::lookup(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void MilpWarmCache::store(uint64_t key, Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.insert_or_assign(key, std::move(entry));
+  (void)it;
+  if (!inserted) return;  // refresh: key already in the eviction order
+  order_.push_back(key);
+  while (map_.size() > capacity_ && !order_.empty()) {
+    map_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+size_t MilpWarmCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+uint64_t MilpWarmCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t MilpWarmCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t milp_formulation_key(const LinearProgram& lp,
+                              const std::vector<bool>& integer_mask) {
+  size_t seed = 0xb10c5eedcafef00dull;
+  auto mix_double = [&seed](double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    hash_combine(seed, static_cast<size_t>(bits));
+  };
+  hash_combine(seed, static_cast<size_t>(lp.num_vars()));
+  for (double c : lp.objective) mix_double(c);
+  hash_combine(seed, lp.rows.size());
+  for (const LinearProgram::Row& row : lp.rows) {
+    hash_combine(seed, row.terms.size());
+    for (const auto& [j, a] : row.terms) {
+      hash_combine(seed, static_cast<size_t>(j));
+      mix_double(a);
+    }
+    mix_double(row.lo);
+    mix_double(row.hi);
+  }
+  for (bool b : integer_mask) hash_combine(seed, b ? 1u : 0u);
+  return seed;
+}
+
 namespace {
 
 using exteng::ClassSlot;
@@ -410,6 +475,21 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
   size_t core_threads = options.core_threads;
   if (core_threads == 0 && (cores.size() <= 1 || vars_total < 128))
     core_threads = 1;
+  // Cross-request warm seeding: formulation keys and cache lookups happen
+  // serially HERE, and stores serially after the solves, so one extraction
+  // is a deterministic function of the cache state at entry — identical
+  // cores within a request cannot race each other's entries on the pool.
+  std::vector<uint64_t> warm_keys(cores.size(), 0);
+  std::vector<MilpWarmCache::Entry> warm_seeds(cores.size());
+  if (options.warm_cache != nullptr) {
+    for (size_t k = 0; k < cores.size(); ++k) {
+      warm_keys[k] = milp_formulation_key(cores[k].lp, cores[k].integral);
+      if (auto entry = options.warm_cache->lookup(warm_keys[k])) {
+        warm_seeds[k] = *entry;
+        trace::incr("extract/core_seed_hits", 1);
+      }
+    }
+  }
   parallel_for(cores.size(), core_threads, [&](size_t k) {
     // Per-core solve span on the worker's lane (arg = core index) — the
     // per-thread view of how the component solves pack onto the pool.
@@ -584,8 +664,19 @@ EngineExtractionResult extract_engine(const EGraph& eg, const CostModel& model,
       }
       return cuts;
     };
+    milp_opt.seed_basis = warm_seeds[k].basis;
+    milp_opt.seed_pseudocost = warm_seeds[k].pseudocost;
     core.milp = solve_milp(core.lp, core.integral, milp_opt, core.warm);
   });
+  if (options.warm_cache != nullptr) {
+    for (size_t k = 0; k < cores.size(); ++k) {
+      if (cores[k].milp.root_basis != nullptr ||
+          cores[k].milp.pseudocost != nullptr)
+        options.warm_cache->store(
+            warm_keys[k],
+            {cores[k].milp.root_basis, cores[k].milp.pseudocost});
+    }
+  }
   phase_mark("extract/solve");
   result.stats.solve_seconds = phase_timer.seconds();
   phase_timer.reset();

@@ -22,9 +22,62 @@
 // the same convention as search_pattern_naive and staged_apply = false.
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
 #include "extract/extract.h"
+#include "ilp/milp.h"
 
 namespace tensat {
+
+/// Cross-request MILP warm-start cache (the service's PR-8 lever): root
+/// basis + pseudocost snapshots of solved extraction cores, keyed by a
+/// fingerprint of the core's exact LP formulation (rows, objective,
+/// integrality — the invariants SparseBasis and PseudocostSnapshot need).
+/// A repeated or perturbed request that reassembles an identical core LP
+/// starts its solve from the previous root basis and branching history.
+///
+/// Thread-safe; bounded FIFO eviction. Snapshots only ever seed a solver
+/// that re-validates them (dimension-checked warm load with cold fallback,
+/// advisory pseudocosts), so a stale or colliding entry can at worst slow a
+/// solve — never change its certified result.
+class MilpWarmCache {
+ public:
+  struct Entry {
+    std::shared_ptr<const SparseBasis> basis;
+    std::shared_ptr<const PseudocostSnapshot> pseudocost;
+  };
+
+  explicit MilpWarmCache(size_t capacity = 512) : capacity_(capacity) {}
+
+  /// Returns the stored entry for a formulation key, counting a hit/miss.
+  std::optional<Entry> lookup(uint64_t key);
+  /// Stores (or refreshes) the entry for a key, evicting FIFO past capacity.
+  void store(uint64_t key, Entry entry);
+
+  [[nodiscard]] size_t size() const;
+  [[nodiscard]] uint64_t hits() const;
+  [[nodiscard]] uint64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::unordered_map<uint64_t, Entry> map_;
+  std::deque<uint64_t> order_;  // insertion order, for FIFO eviction
+  uint64_t hits_{0};
+  uint64_t misses_{0};
+};
+
+/// Fingerprint of an LP formulation + integrality mask: equal keys for the
+/// byte-equal formulations the snapshot contracts require. (Bounds are
+/// EXCLUDED: a basis is valid across bound changes — that is the whole
+/// warm-start design — so forced-assignment differences between requests
+/// still share entries.)
+uint64_t milp_formulation_key(const LinearProgram& lp,
+                              const std::vector<bool>& integer_mask);
 
 struct ExtractEngineOptions : IlpExtractOptions {
   /// True (default) runs the staged reduce/condense/per-core pipeline.
@@ -51,6 +104,12 @@ struct ExtractEngineOptions : IlpExtractOptions {
   /// same result: cores are independent, each solve is deterministic, and
   /// results merge in core order.
   size_t core_threads = 0;
+  /// Cross-request warm-start cache, shared and owned by the caller (the
+  /// service wires one per OptimizationService). Lookups happen serially at
+  /// core-assembly time and stores serially after all solves, so within one
+  /// extraction the result is deterministic for a given cache state.
+  /// nullptr (default) = no cross-request seeding.
+  MilpWarmCache* warm_cache = nullptr;
 };
 
 struct EngineExtractionResult : IlpExtractionResult {

@@ -49,6 +49,24 @@ struct Pseudocost {
   int total_cnt{0};
   explicit Pseudocost(size_t n)
       : sum_down(n, 0.0), sum_up(n, 0.0), cnt_down(n, 0), cnt_up(n, 0) {}
+  /// Resumes from an exported snapshot of a same-formulation solve; a
+  /// size-mismatched snapshot is ignored (cold pseudocosts).
+  Pseudocost(size_t n, const PseudocostSnapshot* seed) : Pseudocost(n) {
+    if (seed == nullptr || seed->sum_down.size() != n ||
+        seed->sum_up.size() != n || seed->cnt_down.size() != n ||
+        seed->cnt_up.size() != n)
+      return;
+    sum_down = seed->sum_down;
+    sum_up = seed->sum_up;
+    cnt_down = seed->cnt_down;
+    cnt_up = seed->cnt_up;
+    total_rate = seed->total_rate;
+    total_cnt = seed->total_cnt;
+  }
+  [[nodiscard]] PseudocostSnapshot snapshot() const {
+    return PseudocostSnapshot{sum_down, sum_up, cnt_down, cnt_up,
+                              total_rate, total_cnt};
+  }
   void observe(int j, bool up, double frac, double gain) {
     if (frac < 1e-9) return;
     const double rate = std::max(0.0, gain) / frac;
@@ -123,6 +141,15 @@ MilpResult solve_milp(const LinearProgram& lp_in, const std::vector<bool>& integ
     cut_lp_opt.sparse = options.sparse;
     SparseBasis cut_warm;
     bool have_warm = false;
+    if (options.sparse && options.warm_start_basis && options.seed_basis &&
+        !options.seed_basis->empty()) {
+      // Cross-solve seed: round 0 solves the original formulation, exactly
+      // what the exported root_basis was recorded against. load_warm
+      // rejects a dimension mismatch and falls back cold, so a stale seed
+      // costs nothing.
+      cut_warm = *options.seed_basis;
+      have_warm = true;
+    }
     double stall_ref = -kInf;  // objective at the last "real" improvement
     int stalled = 0;
     for (int round = 0; round < options.max_cut_rounds; ++round) {
@@ -141,6 +168,10 @@ MilpResult solve_milp(const LinearProgram& lp_in, const std::vector<bool>& integ
       result.lp_iterations += root.iterations;
       result.refactorizations += root.refactorizations;
       if (root.warm) ++result.warm_start_hits;
+      // Round 0 is the original formulation (no cut rows yet): its basis is
+      // the one a later solve of the same formulation can seed from.
+      if (round == 0 && !basis_now.empty())
+        result.root_basis = std::make_shared<const SparseBasis>(basis_now);
       if (root.status != LpStatus::kOptimal) break;
       // Diminishing returns: once rounds stop moving the bound, further
       // cuts only bloat the node LPs — hand the time to branch & bound.
@@ -198,9 +229,17 @@ MilpResult solve_milp(const LinearProgram& lp_in, const std::vector<bool>& integ
   };
 
   std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
-  Pseudocost pseudocost(static_cast<size_t>(lp.num_vars()));
+  Pseudocost pseudocost(static_cast<size_t>(lp.num_vars()),
+                        options.seed_pseudocost.get());
   Node root_node;
   root_node.warm = std::move(root_warm);  // cut-clean basis, if any
+  if (root_node.warm == nullptr && !options.cut_generator &&
+      options.sparse && options.warm_start_basis && options.seed_basis &&
+      !options.seed_basis->empty()) {
+    // No cut loop ran: the B&B root solves the original formulation
+    // directly, so the cross-solve seed applies to it.
+    root_node.warm = options.seed_basis;
+  }
   open.push(std::move(root_node));
   double explored_bound_floor = kInf;  // min bound among pruned-by-bound nodes
   double stop_frontier = kInf;  // open frontier at the rel-gap stop
@@ -337,6 +376,11 @@ MilpResult solve_milp(const LinearProgram& lp_in, const std::vector<bool>& integ
     }
     SparseBasis node_basis;
     LpResult relax = solve_node(node.warm.get(), &node_basis);
+    // The first explored node is the root under original bounds; when no
+    // cut loop captured the original-formulation basis, this one is it.
+    if (result.nodes_explored == 1 && result.root_basis == nullptr &&
+        !options.cut_generator && !node_basis.empty())
+      result.root_basis = std::make_shared<const SparseBasis>(node_basis);
     // Restore root bounds.
     for (const auto& [j, bounds] : node.bound_overrides) {
       node_lo[j] = lp.lower[j];
@@ -450,6 +494,9 @@ MilpResult solve_milp(const LinearProgram& lp_in, const std::vector<bool>& integ
   }
 
   result.seconds = timer.seconds();
+  if (pseudocost.total_cnt > 0)
+    result.pseudocost =
+        std::make_shared<const PseudocostSnapshot>(pseudocost.snapshot());
   // Lower bound: min over open/pruned frontier (including the frontier at a
   // rel-gap stop); if the search finished with an incumbent and nothing
   // open, the incumbent is optimal.

@@ -9,12 +9,28 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "ilp/lp.h"
+#include "ilp/sparse.h"
 
 namespace tensat {
+
+/// Pseudocost totals of a finished solve, exportable across solves of the
+/// SAME formulation (rows + objective; bounds may differ). Branching history
+/// is the slowest-to-warm part of a B&B search, so a service solving the
+/// same extraction core request after request seeds it instead of relearning
+/// it. Purely advisory: pseudocosts rank branching candidates, they never
+/// enter a bound or a certificate, so a stale snapshot can change the search
+/// path but not the certified result.
+struct PseudocostSnapshot {
+  std::vector<double> sum_down, sum_up;
+  std::vector<int> cnt_down, cnt_up;
+  double total_rate{0.0};
+  int total_cnt{0};
+};
 
 enum class MilpStatus {
   kOptimal,     // proven optimal
@@ -69,6 +85,20 @@ struct MilpOptions {
   /// bound, where fixing one option merely shifts mass to a sibling —
   /// compete with (and usually beat) per-option branching.
   std::vector<double> branch_weight;
+  /// Cross-solve warm start (the service's request-to-request lever): a
+  /// basis exported by a previous solve of the same formulation — same rows
+  /// and objective; variable bounds may differ, exactly the guarantee
+  /// SparseBasis documents. Seeds the first root LP (the first cut round
+  /// when a cut_generator is set, the B&B root otherwise) in place of a cold
+  /// two-phase start. Ignored on the dense path, when warm_start_basis is
+  /// off, or when the snapshot's dimensions don't match. Like every warm
+  /// basis here, numerical trouble falls back to a cold start — seeding can
+  /// only change speed and tie-breaking among equally-optimal solutions,
+  /// never the certified objective.
+  std::shared_ptr<const SparseBasis> seed_basis;
+  /// Cross-solve pseudocost seed from a previous solve of the same
+  /// formulation. Ignored when the sizes don't match lp.num_vars().
+  std::shared_ptr<const PseudocostSnapshot> seed_pseudocost;
 };
 
 struct MilpResult {
@@ -91,6 +121,14 @@ struct MilpResult {
   int cuts{0};
   double seconds{0.0};
   bool timed_out{false};
+  /// Basis of the ORIGINAL formulation's root relaxation (captured before
+  /// any cuts are appended, so it stays valid as a seed_basis for a later
+  /// solve of the same rows + objective). Null on the dense path or when the
+  /// root solve produced no reusable basis.
+  std::shared_ptr<const SparseBasis> root_basis;
+  /// Pseudocost totals at the end of the search, reusable as
+  /// seed_pseudocost on a later solve of the same formulation.
+  std::shared_ptr<const PseudocostSnapshot> pseudocost;
 };
 
 /// Solves min c.x over lp's constraints with x_j integral for every j with

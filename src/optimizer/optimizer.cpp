@@ -235,15 +235,39 @@ EGraph seed_egraph(const Graph& input) {
   return eg;
 }
 
+ExplorationSession::ExplorationSession() = default;
+ExplorationSession::~ExplorationSession() = default;
+ExplorationSession::ExplorationSession(ExplorationSession&&) noexcept = default;
+ExplorationSession& ExplorationSession::operator=(ExplorationSession&&) noexcept =
+    default;
+
 ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
-                             const TensatOptions& options) {
+                             const TensatOptions& options,
+                             ExplorationSession* session) {
   trace::ScopedSpan explore_span("explore");
   Timer timer;
   ExploreStats stats;
   stats.rules.resize(rules.size());
   for (size_t r = 0; r < rules.size(); ++r) stats.rules[r].name = rules[r].name;
   const MultiPlan plan = build_multi_plan(rules);
-  ematch::BackoffScheduler scheduler(rules.size(), options.backoff);
+  // Scheduler: session-owned when resuming, call-local otherwise. Ban
+  // timestamps are ABSOLUTE iteration numbers, so a resumed session must
+  // keep numbering iterations on its global clock (iteration_base): bans
+  // recorded by the previous call then expire exactly on schedule, instead
+  // of being re-served from zero every call (see ExplorationSession).
+  std::optional<ematch::BackoffScheduler> local_scheduler;
+  if (session != nullptr) {
+    if (session->scheduler == nullptr)
+      session->scheduler =
+          std::make_unique<ematch::BackoffScheduler>(rules.size(), options.backoff);
+    TENSAT_CHECK(session->scheduler->num_rules() == rules.size(),
+                 "session resumed with a different rule set");
+  } else {
+    local_scheduler.emplace(rules.size(), options.backoff);
+  }
+  ematch::BackoffScheduler& scheduler =
+      session != nullptr ? *session->scheduler : *local_scheduler;
+  const size_t iter_base = session != nullptr ? session->iteration_base : 0;
 
   // Which rules consume each canonical pattern: a pattern whose every user
   // is inactive this iteration (banned, or multi-pattern past k_multi) need
@@ -262,15 +286,32 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
   // Incremental cycle analysis (cycles/incremental.h): attach once — the
   // e-graph journals every add/merge/filtering from here on — and build the
   // initial epoch. The fresh path below rebuilds a DescendantsMap per
-  // iteration instead, as the differential baseline.
+  // iteration instead, as the differential baseline. A session resumes its
+  // persisted analysis: the journal stayed attached between calls, so
+  // whatever the service added to the e-graph since the last call is
+  // already recorded and gets folded in at the first iteration's (lazy)
+  // epoch advance — nothing is lost, nothing is rebuilt from scratch.
   const bool incremental_cycles =
       options.incremental_cycles &&
       options.cycle_filter == CycleFilterMode::kEfficient;
-  std::unique_ptr<IncrementalCycleAnalysis> inc_cycles;
+  std::unique_ptr<IncrementalCycleAnalysis> owned_cycles;
+  IncrementalCycleAnalysis* inc_cycles = nullptr;
   if (incremental_cycles) {
     Timer dmap_timer;
-    inc_cycles = std::make_unique<IncrementalCycleAnalysis>(
-        eg, /*fallback_fraction=*/0.5, options.apply_threads);
+    if (session != nullptr) {
+      if (session->cycles == nullptr) {
+        session->cycles = std::make_unique<IncrementalCycleAnalysis>(
+            eg, /*fallback_fraction=*/0.5, options.apply_threads);
+      } else {
+        TENSAT_CHECK(session->cycles->egraph() == &eg,
+                     "session resumed against a different e-graph");
+      }
+      inc_cycles = session->cycles.get();
+    } else {
+      owned_cycles = std::make_unique<IncrementalCycleAnalysis>(
+          eg, /*fallback_fraction=*/0.5, options.apply_threads);
+      inc_cycles = owned_cycles.get();
+    }
     stats.dmap_seconds += dmap_timer.seconds();
   }
   for (int iter = 0; iter < options.k_max; ++iter) {
@@ -290,7 +331,8 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
     stats.iterations = iter + 1;
 
     auto rule_active = [&](size_t r) {
-      if (scheduler.is_banned(r, static_cast<size_t>(iter))) return false;
+      if (scheduler.is_banned(r, iter_base + static_cast<size_t>(iter)))
+        return false;
       return !(rules[r].is_multi() && iter >= options.k_multi);
     };
 
@@ -312,7 +354,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         Timer dmap_timer;
         inc_cycles->advance_epoch();
         stats.dmap_seconds += dmap_timer.seconds();
-        reach = inc_cycles.get();
+        reach = inc_cycles;
       } else {
         const trace::ScopedSpan dmap_span("explore/dmap");
         Timer dmap_timer;
@@ -455,7 +497,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
           ++stats.rules[r].planned;
           apps.push_back(Application{&rule, r, jm.roots, jm.subst});
         }
-        if (scheduler.record_matches(r, static_cast<size_t>(iter), applied_this_rule))
+        if (scheduler.record_matches(r, iter_base + static_cast<size_t>(iter), applied_this_rule))
           ++stats.bans, ++stats.rules[r].bans;
         continue;
       }
@@ -505,7 +547,7 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
         }
         if (k == idx.size()) break;
       }
-      if (scheduler.record_matches(r, static_cast<size_t>(iter), applied_this_rule))
+      if (scheduler.record_matches(r, iter_base + static_cast<size_t>(iter), applied_this_rule))
         ++stats.bans, ++stats.rules[r].bans;
     }
     if (tracer != nullptr)
@@ -749,11 +791,11 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
       // Saturation may only be declared when no rule sat out the iteration
       // that just ran: a banned rule could still grow the e-graph. Lift the
       // bans and give those rules a final iteration instead.
-      if (scheduler.any_banned(static_cast<size_t>(iter))) {
+      if (scheduler.any_banned(iter_base + static_cast<size_t>(iter))) {
         // Count the lifted bans per rule: banned beyond this iteration means
         // the unban below cuts the ban short.
         for (size_t r = 0; r < rules.size(); ++r)
-          if (scheduler.is_banned(r, static_cast<size_t>(iter) + 1))
+          if (scheduler.is_banned(r, iter_base + static_cast<size_t>(iter) + 1))
             ++stats.rules[r].unbans;
         trace::instant("explore/unban_all");
         scheduler.unban_all();
@@ -771,6 +813,11 @@ ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
   stats.eclasses = eg.num_classes();
   stats.filtered = eg.num_filtered();
   stats.seconds = timer.seconds();
+  // Advance the session's global iteration clock so the next run_exploration
+  // call interprets the persisted scheduler's absolute ban deadlines
+  // correctly (its local `iter` restarts at 0).
+  if (session != nullptr)
+    session->iteration_base += static_cast<size_t>(stats.iterations);
   return stats;
 }
 

@@ -217,9 +217,49 @@ struct ExploreStats {
   std::vector<IterationTelemetry> growth;
 };
 
+class IncrementalCycleAnalysis;
+
+/// Cross-call exploration state for a persistent optimization session (the
+/// service layer, src/service/): the backoff scheduler, the incremental
+/// cycle analysis (journal + closure epochs), and the global iteration
+/// clock. Passing one ExplorationSession through successive run_exploration
+/// calls on the SAME e-graph makes a perturbed resubmission resume
+/// saturation where the previous request stopped instead of restarting.
+///
+/// The iteration clock is the load-bearing part: BackoffScheduler ban
+/// timestamps (`banned_until`) are absolute iteration numbers, so replaying
+/// them against a per-call counter restarting at 0 would re-impose every
+/// expired ban at the start of each resumed call (ban lengths double per
+/// ban, so a long-lived session would starve its hottest rules). The
+/// session numbers iterations globally: call N resumes at iteration_base =
+/// total iterations executed by calls 1..N-1.
+struct ExplorationSession {
+  ExplorationSession();
+  ~ExplorationSession();
+  ExplorationSession(ExplorationSession&&) noexcept;
+  ExplorationSession& operator=(ExplorationSession&&) noexcept;
+
+  /// Created on the first call; ban state persists across calls on the
+  /// global iteration clock. The rule count must match on every call.
+  std::unique_ptr<ematch::BackoffScheduler> scheduler;
+  /// Persisted incremental cycle analysis: keeps its journal attached to
+  /// the session e-graph between calls, so additions made between requests
+  /// (resubmitted graphs) are journaled and folded in at resume, not lost.
+  /// Only populated when the options select incremental efficient
+  /// filtering; the e-graph must stay at a stable address (heap-own it).
+  std::unique_ptr<IncrementalCycleAnalysis> cycles;
+  /// Total iterations executed across all calls: the global clock
+  /// scheduler timestamps live on.
+  size_t iteration_base{0};
+};
+
 /// Runs the exploration phase on a pre-seeded e-graph (root already set).
+/// `session`, when non-null, persists scheduler/cycle state across calls on
+/// the same e-graph (see ExplorationSession); null preserves the one-shot
+/// behavior exactly.
 ExploreStats run_exploration(EGraph& eg, const std::vector<Rewrite>& rules,
-                             const TensatOptions& options);
+                             const TensatOptions& options,
+                             ExplorationSession* session = nullptr);
 
 struct TensatResult {
   bool ok{false};

@@ -1,0 +1,53 @@
+#include "service/fingerprint.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+
+namespace tensat {
+namespace service {
+
+std::string canonical_form(const Graph& g) {
+  TENSAT_CHECK(!g.roots().empty(), "canonical_form: graph has no roots");
+  // canonical_key() renumbers nodes in first-visit DFS order from the roots,
+  // which makes it id-relabeling invariant but root-order DEPENDENT (roots
+  // are visited and emitted in stored order). Sort the roots by their own
+  // single-root canonical serialization first; that order is itself
+  // invariant under relabeling, so the combined key becomes root-order
+  // invariant too.
+  Graph sorted = g;
+  if (g.roots().size() > 1) {
+    std::vector<std::pair<std::string, Id>> keyed;
+    keyed.reserve(g.roots().size());
+    for (Id r : g.roots()) {
+      Graph one = g;
+      one.set_roots({r});
+      keyed.emplace_back(one.canonical_key(), r);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<Id> roots;
+    roots.reserve(keyed.size());
+    for (auto& [key, r] : keyed) roots.push_back(r);
+    sorted.set_roots(std::move(roots));
+  }
+  return sorted.canonical_key();
+}
+
+uint64_t fingerprint(const std::string& bytes) {
+  // FNV-1a, 64-bit: unseeded on purpose — fingerprints must agree across
+  // processes and appear verbatim in logs and bench JSON.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t graph_fingerprint(const Graph& g) { return fingerprint(canonical_form(g)); }
+
+}  // namespace service
+}  // namespace tensat

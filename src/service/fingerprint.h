@@ -1,0 +1,44 @@
+// Canonical graph fingerprints for the optimization service's result cache.
+//
+// Two submissions of "the same" tensor graph rarely arrive byte-identical:
+// clients renumber node ids, reorder the node lines (any topological order is
+// valid), and list multiple roots in arbitrary order. The cache must treat
+// all of those as one key, and must never conflate two graphs that compute
+// different things. canonical_form() produces a serialization that is
+//
+//   * invariant under node-id relabeling and node-line reordering (nodes are
+//     renumbered by a deterministic first-visit DFS from the roots, reusing
+//     Graph::canonical_key);
+//   * invariant under root-order permutation (roots are sorted by their own
+//     single-root canonical serialization before the combined key is built);
+//   * injective on graph structure: the string is Graph::canonical_key()'s
+//     full renumbered serialization (every op, payload, child edge, and root
+//     spelled out), so equal forms imply isomorphic rooted DAGs.
+//
+// The cache keys on the full canonical string (no collision risk);
+// fingerprint() condenses it to a 64-bit FNV-1a hash for display, logging,
+// and the warm-start cache's per-core keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lang/graph.h"
+
+namespace tensat {
+namespace service {
+
+/// The canonical serialization described above. The input graph is not
+/// modified. Throws tensat::Error only if the graph has no roots.
+[[nodiscard]] std::string canonical_form(const Graph& g);
+
+/// 64-bit FNV-1a of an arbitrary byte string (stable across platforms and
+/// runs — no per-process seeding, so fingerprints are comparable between
+/// service instances and log files).
+[[nodiscard]] uint64_t fingerprint(const std::string& bytes);
+
+/// Convenience: fingerprint(canonical_form(g)).
+[[nodiscard]] uint64_t graph_fingerprint(const Graph& g);
+
+}  // namespace service
+}  // namespace tensat

@@ -1,0 +1,221 @@
+#include "service/service.h"
+
+#include <utility>
+
+#include "cycles/incremental.h"
+#include "egraph/egraph.h"
+#include "extract/extract.h"
+#include "serialize/serialize.h"
+#include "service/fingerprint.h"
+#include "support/timer.h"
+#include "trace/trace.h"
+
+namespace tensat {
+namespace service {
+
+/// One persistent session. Member order matters: `exp` (whose cycle
+/// analysis holds a journal pointer into *eg) must be declared after `eg`
+/// so it is destroyed first, detaching the journal while the e-graph is
+/// still alive. Retirement resets in the same order.
+struct OptimizationService::Session {
+  std::mutex mutex;            // serializes runs on this session
+  std::unique_ptr<EGraph> eg;  // heap-owned: must not move while journaled
+  ExplorationSession exp;
+  size_t runs{0};
+};
+
+OptimizationService::OptimizationService(const std::vector<Rewrite>& rules,
+                                         const CostModel& model,
+                                         ServiceOptions options)
+    : rules_(rules),
+      model_(model),
+      options_(std::move(options)),
+      session_cap_(options_.session_node_cap != 0
+                       ? options_.session_node_cap
+                       : 10 * options_.tensat.node_limit),
+      cache_(options_.cache_capacity),
+      warm_(options_.warm_capacity) {}
+
+OptimizationService::~OptimizationService() = default;
+
+ServiceResponse OptimizationService::submit(const std::string& graph_text,
+                                            const std::string& session_key) {
+  Timer timer;
+  ServiceResponse resp;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+  }
+
+  Graph input;
+  std::string canonical;
+  try {
+    input = load_graph_from_string(graph_text);
+    canonical = canonical_form(input);
+  } catch (const std::exception& e) {
+    // Malformed request bytes are a client error, never a service crash.
+    resp.error = e.what();
+    resp.seconds = timer.seconds();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.errors;
+    return resp;
+  }
+  resp.fingerprint = fingerprint(canonical);
+
+  // Layer 1: result cache. Checked before the session path too — a graph
+  // the service has already solved cold needs no session work.
+  if (options_.enable_cache) {
+    if (auto hit = cache_.lookup(canonical)) {
+      trace::incr("service/hits", 1);
+      resp.ok = true;
+      resp.cache_hit = true;
+      resp.optimized_text = hit->optimized_text;  // stored bytes, untouched
+      resp.original_cost = hit->original_cost;
+      resp.optimized_cost = hit->optimized_cost;
+      resp.iterations = 0;
+      resp.seconds = timer.seconds();
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.cache_hits;
+      return resp;
+    }
+    trace::incr("service/misses", 1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cache_misses;
+  }
+
+  const bool use_session = options_.enable_sessions && !session_key.empty();
+  ServiceResponse run =
+      use_session ? run_in_session(input, session_key) : run_sessionless(input);
+  run.fingerprint = resp.fingerprint;
+
+  // Only cold-path results populate the cache: a session result depends on
+  // the session's prior exploration, and a later hit must hand back exactly
+  // what a fresh submission of the graph would have produced.
+  if (run.ok && !use_session && options_.enable_cache) {
+    CachedResult entry;
+    entry.optimized_text = run.optimized_text;
+    entry.original_cost = run.original_cost;
+    entry.optimized_cost = run.optimized_cost;
+    entry.iterations = run.iterations;
+    entry.fingerprint = run.fingerprint;
+    cache_.insert(canonical, std::move(entry));
+  }
+  run.seconds = timer.seconds();
+  return run;
+}
+
+ServiceResponse OptimizationService::run_sessionless(const Graph& input) {
+  ServiceResponse resp;
+  TensatOptions t = options_.tensat;
+  if (options_.enable_warm_starts) t.ilp.warm_cache = &warm_;
+  TensatResult result = optimize(input, rules_, model_, t);
+  resp.ok = result.ok;
+  if (result.ok) {
+    resp.optimized_text = save_graph_to_string(result.optimized);
+    resp.original_cost = result.original_cost;
+    resp.optimized_cost = result.optimized_cost;
+    resp.iterations = result.explore.iterations;
+  }
+  return resp;
+}
+
+ServiceResponse OptimizationService::run_in_session(const Graph& input,
+                                                    const std::string& key) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = sessions_[key];
+    if (slot == nullptr) {
+      slot = std::make_shared<Session>();
+      ++stats_.sessions_created;
+    }
+    session = slot;
+  }
+  std::lock_guard<std::mutex> session_lock(session->mutex);
+
+  // Retire an overgrown session before seeding the request into it. Reset
+  // order mirrors the member order contract: the exploration state (cycle
+  // journal) detaches first, then the e-graph goes away.
+  if (session->eg != nullptr &&
+      session->eg->num_enodes_total() > session_cap_) {
+    session->exp = ExplorationSession{};
+    session->eg.reset();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.sessions_retired;
+  }
+
+  const bool reused = session->eg != nullptr;
+  Graph g = input;
+  const Id root = g.single_root();
+  if (!reused) session->eg = std::make_unique<EGraph>();
+  EGraph& eg = *session->eg;
+  // On reuse this only ADDS (hash-consed, journaled as new classes — no
+  // merges), so the persisted cycle closure resumes soundly: the first
+  // iteration's lazy epoch advance drains the additions.
+  auto mapping = eg.add_graph(g);
+  eg.set_root(mapping.at(root));
+
+  TensatOptions t = options_.tensat;
+  if (options_.enable_warm_starts) t.ilp.warm_cache = &warm_;
+  // Fresh headroom per run: an explored session would otherwise arrive at
+  // the limit already and stop before its first iteration.
+  t.node_limit = options_.tensat.node_limit + eg.num_enodes_total();
+
+  ServiceResponse resp;
+  ExploreStats explore = run_exploration(eg, rules_, t, &session->exp);
+  resp.iterations = explore.iterations;
+
+  const double original_cost = graph_cost(input, model_);
+  bool ok = false;
+  Graph optimized;
+  double optimized_cost = 0.0;
+  if (t.extractor == ExtractorKind::kGreedy) {
+    ExtractionResult ext = extract_greedy(eg, model_);
+    ok = ext.ok;
+    if (ext.ok) {
+      optimized = std::move(ext.graph);
+      optimized_cost = ext.cost;
+    }
+  } else {
+    EngineExtractionResult ilp = extract_engine(eg, model_, t.ilp);
+    ok = ilp.ok;
+    if (ilp.ok) {
+      optimized = std::move(ilp.graph);
+      optimized_cost = ilp.cost;
+    }
+  }
+  // Same certificate optimize() gives: never worse than the request's input.
+  if (!ok || optimized_cost > original_cost) {
+    Graph fallback = input;
+    fallback.single_root();
+    optimized = std::move(fallback);
+    optimized_cost = original_cost;
+  }
+
+  resp.ok = true;
+  resp.session_reused = reused;
+  resp.optimized_text = save_graph_to_string(optimized);
+  resp.original_cost = original_cost;
+  resp.optimized_cost = optimized_cost;
+  ++session->runs;
+
+  if (reused) {
+    trace::incr("service/sessions_reused", 1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.sessions_reused;
+  }
+  return resp;
+}
+
+ServiceStats OptimizationService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t OptimizationService::live_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace service
+}  // namespace tensat

@@ -1,0 +1,144 @@
+// Optimization-as-a-service: a long-lived front end over the TENSAT
+// pipeline that amortizes work across requests instead of starting cold
+// every time. Three reuse layers, each independently switchable:
+//
+//   1. Result cache (service/cache.h): requests are canonicalized
+//      (service/fingerprint.h) and looked up in a bounded LRU keyed by the
+//      full canonical form. A hit returns the stored optimized graph bytes
+//      and stats without touching the pool — bit-identical to the run that
+//      populated the entry. Only sessionless (cold-path) results populate
+//      the cache, so a hit always reproduces what a fresh submission of
+//      that graph would have been handed.
+//
+//   2. Persistent sessions: a client that iterates on one model (perturbed
+//      resubmissions) names a session; the service keeps that session's
+//      explored e-graph alive together with its ExplorationSession state
+//      (backoff scheduler on the global iteration clock, incremental cycle
+//      journal/closure). A resubmission is added into the existing e-graph
+//      and exploration RESUMES — rewrites discovered for the previous
+//      variant are already in the e-graph, so saturation converges in fewer
+//      iterations. Session results are cost-certified (never worse than the
+//      request's input, same guarantee as optimize()) but not byte-stable
+//      across service restarts: they depend on what the session explored
+//      before, which is the point. A session whose e-graph outgrows
+//      session_node_cap is retired and restarted fresh on the next request.
+//
+//   3. Cross-request MILP warm starts: the extraction engine's per-core
+//      solves publish their root LP basis and pseudocost history into a
+//      shared MilpWarmCache (extract/engine/engine.h) keyed by core
+//      formulation fingerprint. Requests — sessionless or not — that
+//      produce a previously-seen core seed its solve. Advisory only: seeds
+//      steer simplex/B&B search order, never the certified objective.
+//
+// Concurrency: submit() is safe from any number of threads. The result
+// cache and warm cache have internal locks; the session table has a service
+// lock for lookup/creation and a per-session lock held for the duration of
+// a session run (two requests naming the same session serialize; distinct
+// sessions run concurrently on the shared pool).
+//
+// Trace counters (trace/trace.h, aggregated per tracer):
+//   service/hits             result-cache hits
+//   service/misses           result-cache misses
+//   service/sessions_reused  requests that resumed an existing session
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/cost.h"
+#include "extract/engine/engine.h"
+#include "optimizer/optimizer.h"
+#include "rewrite/rules.h"
+#include "service/cache.h"
+
+namespace tensat {
+namespace service {
+
+struct ServiceOptions {
+  /// Pipeline knobs for every request the service runs itself (cache hits
+  /// bypass them entirely). node_limit is interpreted per run: a resumed
+  /// session gets node_limit fresh headroom on top of its existing e-graph.
+  TensatOptions tensat;
+  bool enable_cache = true;
+  bool enable_sessions = true;
+  bool enable_warm_starts = true;
+  size_t cache_capacity = 256;       // result-cache entries
+  size_t warm_capacity = 512;        // MILP warm-start entries
+  /// Retire a session whose e-graph (hash-cons total) exceeds this many
+  /// e-nodes; 0 = 10x tensat.node_limit. Retirement drops the explored
+  /// state — the next request on the key starts a fresh session.
+  size_t session_node_cap = 0;
+};
+
+/// Everything submit() reports about one request.
+struct ServiceResponse {
+  bool ok{false};
+  std::string error;           // set when !ok (parse/validation failure)
+  bool cache_hit{false};
+  bool session_reused{false};  // resumed an existing session's e-graph
+  uint64_t fingerprint{0};     // canonical-form fingerprint of the input
+  std::string optimized_text;  // optimized graph, serialized (empty if !ok)
+  double original_cost{0.0};
+  double optimized_cost{0.0};
+  int iterations{0};           // exploration iterations this request ran (0 on hit)
+  double seconds{0.0};         // submit() wall time, including hits
+};
+
+/// Service-lifetime counters (monotone; independent of the trace sink).
+struct ServiceStats {
+  size_t requests{0};
+  size_t errors{0};            // rejected (malformed) submissions
+  size_t cache_hits{0};
+  size_t cache_misses{0};      // misses among cache-eligible requests
+  size_t sessions_created{0};
+  size_t sessions_reused{0};
+  size_t sessions_retired{0};  // e-graph outgrew session_node_cap
+};
+
+class OptimizationService {
+ public:
+  /// `rules` and `model` must outlive the service.
+  OptimizationService(const std::vector<Rewrite>& rules, const CostModel& model,
+                      ServiceOptions options = {});
+  ~OptimizationService();
+  OptimizationService(const OptimizationService&) = delete;
+  OptimizationService& operator=(const OptimizationService&) = delete;
+
+  /// Optimizes one graph given in the tensat-graph v1 text format.
+  /// `session_key` empty = sessionless (cache + warm starts only); non-empty
+  /// names the persistent session to resume or create. Malformed input
+  /// yields ok=false with the parse error in `error` — submit() never
+  /// throws for bad request bytes.
+  ServiceResponse submit(const std::string& graph_text,
+                         const std::string& session_key = "");
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] size_t warm_entries() const { return warm_.size(); }
+  [[nodiscard]] size_t live_sessions() const;
+
+ private:
+  struct Session;
+
+  ServiceResponse run_sessionless(const Graph& input);
+  ServiceResponse run_in_session(const Graph& input, const std::string& key);
+
+  const std::vector<Rewrite>& rules_;
+  const CostModel& model_;
+  const ServiceOptions options_;
+  const size_t session_cap_;  // resolved session_node_cap
+
+  ResultCache cache_;
+  MilpWarmCache warm_;
+
+  mutable std::mutex mutex_;  // guards sessions_ and stats_
+  std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+  ServiceStats stats_;
+};
+
+}  // namespace service
+}  // namespace tensat

@@ -173,6 +173,82 @@ TEST(Milp, TimeLimitReturnsIncumbent) {
   EXPECT_NEAR(r.objective, -1.0, 1e-9);
 }
 
+TEST(Milp, SequentialSolvesGetFreshDeadlines) {
+  // The service keeps one process alive across many solves: every
+  // solve_milp must measure its budget from its OWN entry (a fresh
+  // monotonic Timer), never from process start or any state left by a
+  // previous solve. Reusing one MilpOptions object across solves — exactly
+  // what a long-lived service does — must not let an earlier solve's
+  // elapsed time bleed into a later deadline.
+  LinearProgram lp;
+  lp.add_var(0, 1, -1.0);
+  lp.add_var(0, 1, -1.0);
+  lp.add_row({{0, 2.0}, {1, 2.0}}, -kInf, 3.0);
+  MilpOptions opt;
+  opt.time_limit_s = 30.0;
+  for (int i = 0; i < 3; ++i) {
+    const MilpResult r = solve_milp(lp, {true, true}, opt);
+    ASSERT_EQ(r.status, MilpStatus::kOptimal) << "solve " << i;
+    EXPECT_FALSE(r.timed_out) << "solve " << i;
+    // Each solve's clock starts at its own entry: a trivial instance must
+    // report (far) less time than the budget even after prior solves.
+    EXPECT_LT(r.seconds, opt.time_limit_s / 2) << "solve " << i;
+  }
+  // A warm-started re-solve seeded from the previous result's snapshots
+  // gets the same fresh deadline and the same certified optimum.
+  MilpResult first = solve_milp(lp, {true, true}, opt);
+  ASSERT_EQ(first.status, MilpStatus::kOptimal);
+  opt.seed_basis = first.root_basis;
+  opt.seed_pseudocost = first.pseudocost;
+  const MilpResult seeded = solve_milp(lp, {true, true}, opt);
+  ASSERT_EQ(seeded.status, MilpStatus::kOptimal);
+  EXPECT_FALSE(seeded.timed_out);
+  EXPECT_NEAR(seeded.objective, first.objective, 1e-9);
+}
+
+TEST(Milp, SeedBasisReusedAcrossSolves) {
+  // Exported root basis + pseudocosts from one solve warm the next solve of
+  // the same formulation. The certified optimum must not move; the root LP
+  // should report a warm-start hit.
+  LinearProgram lp;
+  Rng rng(77);
+  const int n = 10;
+  for (int j = 0; j < n; ++j) lp.add_var(0, 1, rng.uniform(0.5, 3.0));
+  for (int r = 0; r < 7; ++r) {
+    LinearProgram::Row row;
+    for (int j = 0; j < n; ++j)
+      if (rng.chance(0.4)) row.terms.emplace_back(j, 1.0);
+    if (row.terms.empty()) row.terms.emplace_back(0, 1.0);
+    row.lo = 1.0;
+    row.hi = kInf;
+    lp.rows.push_back(row);
+  }
+  MilpOptions opt;
+  opt.rel_gap = 0.0;
+  const MilpResult cold = solve_milp(lp, std::vector<bool>(n, true), opt);
+  ASSERT_EQ(cold.status, MilpStatus::kOptimal);
+  ASSERT_NE(cold.root_basis, nullptr);
+  EXPECT_FALSE(cold.root_basis->empty());
+
+  opt.seed_basis = cold.root_basis;
+  opt.seed_pseudocost = cold.pseudocost;
+  const MilpResult warm = solve_milp(lp, std::vector<bool>(n, true), opt);
+  ASSERT_EQ(warm.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7);
+  EXPECT_GE(warm.warm_start_hits, 1);
+
+  // A dimensionally-mismatched seed must be ignored (cold fallback), not
+  // crash or corrupt the solve.
+  auto junk = std::make_shared<SparseBasis>();
+  junk->basic = {0};
+  junk->at_upper = {0, 1};
+  opt.seed_basis = junk;
+  opt.seed_pseudocost = nullptr;
+  const MilpResult mismatched = solve_milp(lp, std::vector<bool>(n, true), opt);
+  ASSERT_EQ(mismatched.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(mismatched.objective, cold.objective, 1e-7);
+}
+
 /// Brute force over all binary assignments (continuous vars must be absent).
 double brute_force(const LinearProgram& lp) {
   const int n = lp.num_vars();

@@ -1,11 +1,15 @@
 // Parser robustness: arbitrary token soup must either parse or throw
 // tensat::Error — never crash, hang, or corrupt the graph. Also checks the
-// print -> parse -> print fixpoint on randomly generated patterns.
+// print -> parse -> print fixpoint on randomly generated patterns, and — the
+// service ingestion path — the save_graph/load_graph round trip plus its
+// malformed-input rejection (a long-lived service must never crash or
+// silently mis-parse user-supplied graph text).
 #include <gtest/gtest.h>
 
 #include <string>
 
 #include "lang/parse.h"
+#include "serialize/serialize.h"
 #include "support/check.h"
 #include "support/rng.h"
 
@@ -101,6 +105,117 @@ TEST(ParserEdge, NegativeNumbersAreNumLeaves) {
   const Id n = parse_into(g, "-7");
   EXPECT_EQ(g.node(n).op, Op::kNum);
   EXPECT_EQ(g.node(n).num, -7);
+}
+
+// ---- serialize round-trip regime -------------------------------------------
+
+/// Random well-formed concrete graph: shape-preserving op chains over a few
+/// 2-D inputs, so every generated graph also passes shape inference.
+Graph random_concrete_graph(Rng& rng) {
+  Graph g;
+  const int dim = 2 + static_cast<int>(rng.below(3)) * 2;  // 2, 4, or 6
+  std::vector<Id> pool;
+  const int inputs = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < inputs; ++i)
+    pool.push_back(rng.chance(0.5) ? g.input("in" + std::to_string(i), {dim, dim})
+                                   : g.weight("w" + std::to_string(i), {dim, dim}));
+  const int steps = 1 + static_cast<int>(rng.below(12));
+  for (int i = 0; i < steps; ++i) {
+    const Id a = pool[rng.below(pool.size())];
+    const Id b = pool[rng.below(pool.size())];
+    switch (rng.below(4)) {
+      case 0: pool.push_back(g.ewadd(a, b)); break;
+      case 1: pool.push_back(g.ewmul(a, b)); break;
+      case 2: pool.push_back(g.relu(a)); break;
+      default: pool.push_back(g.matmul(a, b)); break;
+    }
+  }
+  std::vector<Id> roots;
+  const int nroots = 1 + static_cast<int>(rng.below(2));
+  for (int i = 0; i < nroots; ++i) roots.push_back(pool[pool.size() - 1 - i]);
+  g.set_roots(std::move(roots));
+  return g;
+}
+
+class SerializeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializeRoundTrip, SaveLoadSaveIsFixpoint) {
+  Rng rng(90210 + GetParam());
+  const Graph g = random_concrete_graph(rng);
+  const std::string once = save_graph_to_string(g);
+  const Graph back = load_graph_from_string(once);
+  EXPECT_EQ(save_graph_to_string(back), once);
+  EXPECT_EQ(back.canonical_key(), g.canonical_key());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRoundTrip, ::testing::Range(0, 50));
+
+class SerializeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializeFuzz, RandomLineSoupNeverCrashes) {
+  Rng rng(4242 + GetParam());
+  static const char* kTokens[] = {"0",     "1",    "2",     "-1",   "roots",
+                                  "num",   "str",  "var",   "relu", "ewadd",
+                                  "matmul", "x@2_3", "w@9999999999", "junk",
+                                  "3x",    "tensat-graph"};
+  std::string input = "tensat-graph v1\n";
+  const int lines = 1 + static_cast<int>(rng.below(8));
+  for (int l = 0; l < lines; ++l) {
+    const int len = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < len; ++i) {
+      input += kTokens[rng.below(std::size(kTokens))];
+      input += ' ';
+    }
+    input += '\n';
+  }
+  try {
+    const Graph g = load_graph_from_string(input);
+    // If it parsed, it must round-trip exactly.
+    EXPECT_EQ(save_graph_to_string(load_graph_from_string(save_graph_to_string(g))),
+              save_graph_to_string(g));
+  } catch (const Error&) {
+    // Expected for malformed input.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeFuzz, ::testing::Range(0, 200));
+
+TEST(SerializeEdge, MalformedInputsThrow) {
+  static const char* kBad[] = {
+      // Trailing garbage on the roots line (used to be silently dropped).
+      "tensat-graph v1\n0 num 3\nroots 0 junk\n",
+      // Non-integer child token (used to silently truncate the child list).
+      "tensat-graph v1\n0 num 3\n1 relu 0junk\nroots 1\n",
+      // Negative node id on the definition side.
+      "tensat-graph v1\n-1 num 3\nroots -1\n",
+      // Duplicate id.
+      "tensat-graph v1\n0 num 3\n0 num 4\nroots 0\n",
+      // Content after the roots line (used to be silently ignored).
+      "tensat-graph v1\n0 num 3\nroots 0\n1 num 4\n",
+      // Trailing token on a num payload line.
+      "tensat-graph v1\n0 num 3 extra\nroots 0\n",
+      // Trailing token on a str payload line.
+      "tensat-graph v1\n0 str x@2_2 extra\nroots 0\n",
+      // num payload overflow.
+      "tensat-graph v1\n0 num 99999999999999999999999999\nroots 0\n",
+      // Roots referencing an unknown id.
+      "tensat-graph v1\n0 num 3\nroots 5\n",
+      // Empty roots line.
+      "tensat-graph v1\n0 num 3\nroots\n",
+  };
+  for (const char* bad : kBad) {
+    EXPECT_THROW(load_graph_from_string(bad), Error) << bad;
+  }
+}
+
+TEST(SerializeEdge, OverflowShapeLiteralThrows) {
+  // An overflow-sized shape literal parses as a str payload, but the input
+  // node consuming it runs shape inference inside Graph::add — the overflow
+  // must surface as tensat::Error (not an assert or a silent truncation)
+  // while still inside load_graph.
+  EXPECT_THROW(load_graph_from_string(
+                   "tensat-graph v1\n0 str x@99999999999\n1 input 0\nroots 1\n"),
+               Error);
 }
 
 }  // namespace

@@ -1,0 +1,451 @@
+// Tests for the optimization service (src/service/) and the session-
+// lifecycle fixes it depends on: canonical fingerprints, the LRU result
+// cache, cache-hit bit-identity, session resume, the scheduler's global
+// iteration clock, the cycle-journal attach guard, and a concurrent
+// mixed-submission stress run (exercised under ASan and TSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cycles/incremental.h"
+#include "egraph/egraph.h"
+#include "ematch/scheduler.h"
+#include "models/models.h"
+#include "optimizer/optimizer.h"
+#include "rewrite/rules.h"
+#include "serialize/serialize.h"
+#include "service/cache.h"
+#include "service/fingerprint.h"
+#include "service/service.h"
+#include "support/check.h"
+
+namespace tensat {
+namespace {
+
+const T4CostModel& model() {
+  static const T4CostModel m;
+  return m;
+}
+
+/// Small, fast-to-optimize settings shared by the service tests.
+service::ServiceOptions fast_options() {
+  service::ServiceOptions opt;
+  opt.tensat.k_max = 3;
+  opt.tensat.k_multi = 1;
+  opt.tensat.node_limit = 400;
+  opt.tensat.explore_time_limit_s = 10.0;
+  opt.tensat.ilp.time_limit_s = 5.0;
+  opt.tensat.ilp.rel_gap = 0.0;  // exact parity: hits vs recompute
+  return opt;
+}
+
+Graph shared_matmuls(int n = 3) {
+  Graph g;
+  const Id x = g.input("x", {64, 64});
+  for (int i = 0; i < n; ++i)
+    g.add_root(g.matmul(x, g.weight("w" + std::to_string(i), {64, 64})));
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint canonicalization
+
+TEST(Fingerprint, InvariantUnderNodeRelabeling) {
+  // The same DAG built in two different construction orders gets different
+  // node ids; the canonical form must not see the difference.
+  Graph a;
+  {
+    const Id x = a.input("x", {32, 32});
+    const Id w = a.weight("w", {32, 32});
+    a.add_root(a.relu(a.matmul(x, w)));
+  }
+  Graph b;
+  {
+    const Id w = b.weight("w", {32, 32});  // ids swapped vs `a`
+    const Id x = b.input("x", {32, 32});
+    b.add_root(b.relu(b.matmul(x, w)));
+  }
+  EXPECT_EQ(service::canonical_form(a), service::canonical_form(b));
+  EXPECT_EQ(service::graph_fingerprint(a), service::graph_fingerprint(b));
+}
+
+TEST(Fingerprint, InvariantUnderRootOrder) {
+  Graph a;
+  {
+    const Id x = a.input("x", {32, 32});
+    a.add_root(a.relu(x));
+    a.add_root(a.matmul(x, a.weight("w", {32, 32})));
+  }
+  Graph b;
+  {
+    const Id x = b.input("x", {32, 32});
+    const Id mm = b.matmul(x, b.weight("w", {32, 32}));
+    b.add_root(mm);  // roots listed in the opposite order
+    b.add_root(b.relu(x));
+  }
+  EXPECT_EQ(service::canonical_form(a), service::canonical_form(b));
+}
+
+TEST(Fingerprint, DistinguishesDifferentGraphs) {
+  Graph a = shared_matmuls(2);
+  Graph b = shared_matmuls(3);
+  EXPECT_NE(service::canonical_form(a), service::canonical_form(b));
+  // Same ops, different wiring: x*(w1), x*(w2) vs x*(w1), w1-as-input reuse.
+  Graph c;
+  {
+    const Id x = c.input("x", {32, 32});
+    const Id w = c.weight("w", {32, 32});
+    c.add_root(c.matmul(x, w));
+    c.add_root(c.relu(x));
+  }
+  Graph d;
+  {
+    const Id x = d.input("x", {32, 32});
+    const Id w = d.weight("w", {32, 32});
+    d.add_root(d.matmul(x, w));
+    d.add_root(d.relu(w));  // relu of the weight, not the input
+  }
+  EXPECT_NE(service::canonical_form(c), service::canonical_form(d));
+}
+
+TEST(Fingerprint, SurvivesSerializeRoundTrip) {
+  const Graph g = make_bert(1, 4, 8);
+  const Graph back = load_graph_from_string(save_graph_to_string(g));
+  EXPECT_EQ(service::canonical_form(g), service::canonical_form(back));
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+
+TEST(ResultCache, LruEvictionOrder) {
+  service::ResultCache cache(2);
+  auto entry = [](double cost) {
+    service::CachedResult r;
+    r.optimized_cost = cost;
+    return r;
+  };
+  cache.insert("a", entry(1));
+  cache.insert("b", entry(2));
+  ASSERT_TRUE(cache.lookup("a").has_value());  // promotes "a" over "b"
+  cache.insert("c", entry(3));                 // evicts "b"
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCache, RefreshOverwritesAndPromotes) {
+  service::ResultCache cache(2);
+  service::CachedResult r;
+  r.optimized_text = "v1";
+  cache.insert("a", r);
+  r.optimized_text = "v2";
+  cache.insert("b", service::CachedResult{});
+  cache.insert("a", r);  // refresh promotes "a"
+  cache.insert("c", service::CachedResult{});
+  auto hit = cache.lookup("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->optimized_text, "v2");
+  EXPECT_FALSE(cache.lookup("b").has_value());  // "b" was LRU
+}
+
+// ---------------------------------------------------------------------------
+// Service: cache behavior
+
+TEST(Service, CacheHitReturnsBitIdenticalResult) {
+  service::ServiceOptions opt = fast_options();
+  opt.enable_sessions = false;
+  opt.enable_warm_starts = false;  // cache-only regime: cold path is pure
+  service::OptimizationService svc(default_rules(), model(), opt);
+  const std::string text = save_graph_to_string(shared_matmuls());
+
+  const service::ServiceResponse cold = svc.submit(text);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+  const service::ServiceResponse hit = svc.submit(text);
+  ASSERT_TRUE(hit.ok) << hit.error;
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.optimized_text, cold.optimized_text);  // exact bytes
+  EXPECT_EQ(hit.optimized_cost, cold.optimized_cost);
+  EXPECT_EQ(hit.fingerprint, cold.fingerprint);
+
+  // A relabeled/reordered submission of the same graph is the same key.
+  Graph relabeled = load_graph_from_string(text);
+  const service::ServiceResponse hit2 =
+      svc.submit(save_graph_to_string(relabeled));
+  ASSERT_TRUE(hit2.ok);
+  EXPECT_TRUE(hit2.cache_hit);
+  EXPECT_EQ(hit2.optimized_text, cold.optimized_text);
+
+  // And the hit matches an independent recomputation through optimize().
+  TensatOptions direct = opt.tensat;
+  const TensatResult fresh =
+      optimize(load_graph_from_string(text), default_rules(), model(), direct);
+  ASSERT_TRUE(fresh.ok);
+  EXPECT_EQ(save_graph_to_string(fresh.optimized), hit.optimized_text);
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(Service, MalformedSubmissionIsRejectedNotFatal) {
+  service::OptimizationService svc(default_rules(), model(), fast_options());
+  const service::ServiceResponse r1 = svc.submit("not a graph at all");
+  EXPECT_FALSE(r1.ok);
+  EXPECT_FALSE(r1.error.empty());
+  const service::ServiceResponse r2 =
+      svc.submit("tensat-graph v1\n0 str x@32_32\n0 input 0\nroots 0\n");
+  EXPECT_FALSE(r2.ok);  // duplicate id
+  // The service keeps serving after rejects.
+  const service::ServiceResponse ok = svc.submit(
+      save_graph_to_string(shared_matmuls()));
+  EXPECT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(svc.stats().errors, 2u);
+}
+
+TEST(Service, CacheDisabledNeverHits) {
+  service::ServiceOptions opt = fast_options();
+  opt.enable_cache = false;
+  service::OptimizationService svc(default_rules(), model(), opt);
+  const std::string text = save_graph_to_string(shared_matmuls(2));
+  EXPECT_FALSE(svc.submit(text).cache_hit);
+  EXPECT_FALSE(svc.submit(text).cache_hit);
+  EXPECT_EQ(svc.stats().cache_hits, 0u);
+  EXPECT_EQ(svc.cache_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Service: sessions
+
+TEST(Service, SessionResumesAndStaysCostCertified) {
+  service::ServiceOptions opt = fast_options();
+  opt.enable_cache = false;  // force the session path on every submit
+  service::OptimizationService svc(default_rules(), model(), opt);
+
+  Graph base = shared_matmuls(3);
+  const service::ServiceResponse first =
+      svc.submit(save_graph_to_string(base), "client-a");
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.session_reused);
+  EXPECT_LE(first.optimized_cost, first.original_cost + 1e-9);
+
+  // Perturbed variant: one more shared matmul. The session e-graph already
+  // holds the first variant's exploration.
+  Graph variant = shared_matmuls(4);
+  const service::ServiceResponse second =
+      svc.submit(save_graph_to_string(variant), "client-a");
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.session_reused);
+  EXPECT_LE(second.optimized_cost, second.original_cost + 1e-9);
+
+  // Resubmitting the first variant resumes again and must still certify.
+  // Note the certificate is against the request's INPUT, not against the
+  // first run's result: continued exploration can merge classes into cycles
+  // whose filtering (Algorithm 2 is conservative) removes nodes an earlier
+  // extraction used — identically so with or without a session.
+  const service::ServiceResponse third =
+      svc.submit(save_graph_to_string(base), "client-a");
+  ASSERT_TRUE(third.ok) << third.error;
+  EXPECT_TRUE(third.session_reused);
+  EXPECT_LE(third.optimized_cost, third.original_cost + 1e-9);
+  EXPECT_EQ(third.original_cost, first.original_cost);
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.sessions_created, 1u);
+  EXPECT_EQ(stats.sessions_reused, 2u);
+  EXPECT_EQ(svc.live_sessions(), 1u);
+}
+
+TEST(Service, TinySessionCapRetiresAndRecovers) {
+  service::ServiceOptions opt = fast_options();
+  opt.enable_cache = false;
+  opt.session_node_cap = 1;  // every explored e-graph exceeds this
+  service::OptimizationService svc(default_rules(), model(), opt);
+  const std::string text = save_graph_to_string(shared_matmuls(2));
+  ASSERT_TRUE(svc.submit(text, "s").ok);
+  const service::ServiceResponse second = svc.submit(text, "s");
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_FALSE(second.session_reused);  // retired, restarted fresh
+  EXPECT_GE(svc.stats().sessions_retired, 1u);
+  EXPECT_LE(second.optimized_cost, second.original_cost + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Session-lifecycle regressions: the scheduler's iteration clock
+
+TEST(SessionLifecycle, StaleBanWouldReappearOnLocalClock) {
+  // The raw bug: ban deadlines are absolute iteration numbers. A scheduler
+  // persisted across runs, replayed against a per-run counter restarting at
+  // 0, re-imposes every expired ban.
+  ematch::BackoffOptions opt;
+  opt.match_limit = 1;
+  opt.ban_length = 5;
+  ematch::BackoffScheduler sched(1, opt);
+  EXPECT_TRUE(sched.record_matches(0, 0, 10));  // blows the budget: ban
+  EXPECT_TRUE(sched.is_banned(0, 3));
+  EXPECT_FALSE(sched.is_banned(0, 6));  // ban expired on the global clock
+
+  // Run 1 executed 8 iterations. Run 2 restarting its local clock at 0
+  // would see the ban as active again (the bug)...
+  EXPECT_TRUE(sched.is_banned(0, 0));
+  // ...while the session's global clock (iteration_base = 8) does not.
+  const size_t iteration_base = 8;
+  EXPECT_FALSE(sched.is_banned(0, iteration_base + 0));
+}
+
+TEST(SessionLifecycle, IterationBaseAccumulatesAcrossRuns) {
+  Graph g = shared_matmuls(2);
+  const Id root = g.single_root();
+  auto eg = std::make_unique<EGraph>();
+  auto mapping = eg->add_graph(g);
+  eg->set_root(mapping.at(root));
+
+  TensatOptions opt;
+  opt.k_max = 3;
+  opt.node_limit = 400;
+  ExplorationSession session;
+  const ExploreStats first = run_exploration(*eg, default_rules(), opt, &session);
+  EXPECT_EQ(session.iteration_base, static_cast<size_t>(first.iterations));
+  ASSERT_NE(session.scheduler, nullptr);
+  EXPECT_EQ(session.scheduler->num_rules(), default_rules().size());
+
+  opt.node_limit = 400 + eg->num_enodes_total();
+  const ExploreStats second = run_exploration(*eg, default_rules(), opt, &session);
+  EXPECT_EQ(session.iteration_base,
+            static_cast<size_t>(first.iterations + second.iterations));
+  // The persisted cycle analysis stayed attached to this e-graph.
+  if (session.cycles != nullptr) EXPECT_EQ(session.cycles->egraph(), eg.get());
+}
+
+TEST(SessionLifecycle, ResumedRuleSetMustMatch) {
+  Graph g = shared_matmuls(2);
+  const Id root = g.single_root();
+  EGraph eg;
+  auto mapping = eg.add_graph(g);
+  eg.set_root(mapping.at(root));
+  TensatOptions opt;
+  opt.k_max = 1;
+  opt.node_limit = 300;
+  ExplorationSession session;
+  run_exploration(eg, default_rules(), opt, &session);
+  const std::vector<Rewrite> fewer(default_rules().begin(),
+                                   default_rules().begin() + 3);
+  EXPECT_THROW(run_exploration(eg, fewer, opt, &session), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Session-lifecycle regressions: the cycle-journal attach guard
+
+TEST(SessionLifecycle, SecondJournalAttachThrows) {
+  Graph g = shared_matmuls(2);
+  const Id root = g.single_root();
+  EGraph eg;
+  auto mapping = eg.add_graph(g);
+  eg.set_root(mapping.at(root));
+
+  CycleJournal first;
+  eg.set_cycle_journal(&first);
+  CycleJournal second;
+  // Silently displacing a live journal would leave its owner resuming from
+  // a stale epoch; the e-graph now refuses.
+  EXPECT_THROW(eg.set_cycle_journal(&second), Error);
+  eg.set_cycle_journal(nullptr);  // detach is always allowed
+  eg.set_cycle_journal(&second);  // and re-attach after detach is too
+  eg.set_cycle_journal(nullptr);
+}
+
+TEST(SessionLifecycle, TwoIncrementalAnalysesOnOneEGraphThrow) {
+  Graph g = shared_matmuls(2);
+  const Id root = g.single_root();
+  EGraph eg;
+  auto mapping = eg.add_graph(g);
+  eg.set_root(mapping.at(root));
+  IncrementalCycleAnalysis inc(eg);
+  EXPECT_THROW(IncrementalCycleAnalysis second(eg), Error);
+  // The first analysis is still attached and functional.
+  EXPECT_EQ(inc.egraph(), &eg);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent mixed-submission stress (run under ASan and TSan in CI)
+
+TEST(ServiceStress, ConcurrentMixedSubmissions) {
+  service::ServiceOptions opt = fast_options();
+  opt.tensat.k_max = 2;
+  opt.tensat.node_limit = 250;
+  service::OptimizationService svc(default_rules(), model(), opt);
+
+  const std::vector<std::string> graphs = {
+      save_graph_to_string(shared_matmuls(2)),
+      save_graph_to_string(shared_matmuls(3)),
+      save_graph_to_string(make_bert(1, 4, 8)),
+  };
+  // Pre-populate the cache cold and serially so every later hit has a
+  // reference byte string to be compared against.
+  std::vector<std::string> reference;
+  for (const std::string& text : graphs) {
+    const service::ServiceResponse r = svc.submit(text);
+    ASSERT_TRUE(r.ok) << r.error;
+    reference.push_back(r.optimized_text);
+  }
+  // Per-thread perturbed variants for the session legs: not in the result
+  // cache (session results never populate it and these keys are unique), so
+  // every session submission actually runs the session path.
+  std::vector<std::string> session_texts;
+  for (int t = 0; t < 4; ++t) {
+    Graph g = shared_matmuls(2);
+    g.add_root(g.relu(g.input("p" + std::to_string(t), {16, 16})));
+    session_texts.push_back(save_graph_to_string(g));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 6;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int pick = (t + i) % static_cast<int>(graphs.size());
+        switch (i % 3) {
+          case 0: {  // cache-eligible repeat: must match the reference bytes
+            const service::ServiceResponse r = svc.submit(graphs[pick]);
+            if (!r.ok) ++failures;
+            if (r.ok && r.optimized_text != reference[pick]) ++mismatches;
+            break;
+          }
+          case 1: {  // session request (same key per thread: serialized)
+            const service::ServiceResponse r =
+                svc.submit(session_texts[t], "thread-" + std::to_string(t));
+            if (!r.ok) ++failures;
+            break;
+          }
+          default: {  // malformed request: rejected, never fatal
+            const service::ServiceResponse r = svc.submit("roots nonsense");
+            if (r.ok) ++failures;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<size_t>(kThreads * kPerThread) + graphs.size());
+  EXPECT_EQ(stats.errors, static_cast<size_t>(kThreads * (kPerThread / 3)));
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace tensat
