@@ -11,19 +11,32 @@
 //   --node-limit N   e-graph size cap per run (default 500)
 //   --k-max N        exploration iterations (default 4)
 //   --no-cache / --no-sessions / --no-warm   disable one reuse layer
+//   --metrics FILE   write Prometheus text exposition to FILE at exit, plus
+//                    FILE.round<N> after each round (for monotonicity checks)
+//   --metrics-json FILE   write the JSON exposition to FILE at exit
+//   --no-metrics     run with the metrics layer disabled entirely
+//   --slow-threshold S    flight-recorder slow-request capture threshold in
+//                         seconds (default 0 = capture off)
+//   --slow-dump-dir DIR   where slow-request Chrome traces land (default ".")
 //
 // The mix per round is tiny-BERT, tiny-NasRNN, and SharedMM — the same
 // shapes bench_ematch_report's service section measures at larger scale.
 // Round 1 is all cold; later rounds hit the result cache, and the session
 // leg resumes its e-graph, so a healthy run ends with hits > 0 and
-// sessions_reused > 0.
+// sessions_reused > 0. With metrics on, each round also prints a one-line
+// stderr report (p50/p99 latency, hit ratio, pool depth) — the periodic
+// operator view a long-lived deployment would log.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "metrics/flight.h"
+#include "metrics/metrics.h"
 #include "models/models.h"
 #include "rewrite/rules.h"
 #include "serialize/serialize.h"
@@ -38,7 +51,9 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--rounds N] [--session KEY] [--node-limit N] "
-               "[--k-max N] [--no-cache] [--no-sessions] [--no-warm]\n",
+               "[--k-max N] [--no-cache] [--no-sessions] [--no-warm]\n"
+               "          [--metrics FILE] [--metrics-json FILE] "
+               "[--no-metrics] [--slow-threshold S] [--slow-dump-dir DIR]\n",
                argv0);
   return 2;
 }
@@ -66,11 +81,45 @@ Graph perturb(Graph g, int round) {
   return g;
 }
 
+bool write_exposition(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << body;
+  return static_cast<bool>(out);
+}
+
+/// One operator line per round: merged (all-outcome) latency quantiles, hit
+/// ratio, and pool backlog — scraped from the same registry Prometheus sees.
+void report_round(const service::OptimizationService& svc, int round) {
+  metrics::MetricsRegistry* reg = svc.metrics();
+  if (reg == nullptr) return;
+  std::vector<metrics::HistogramSnapshot> parts;
+  for (const char* outcome : {"hit", "cold", "session", "error"})
+    parts.push_back(reg->histogram("tensat_service_submit_seconds",
+                                   {{"outcome", outcome}})
+                        .snapshot());
+  const metrics::HistogramSnapshot all = metrics::merge_snapshots(parts);
+  std::fprintf(stderr,
+               "metrics round %d: requests %llu  p50 %.4fs  p99 %.4fs  "
+               "hit_ratio %.2f  queue_depth %.0f  flight %llu\n",
+               round + 1, static_cast<unsigned long long>(all.count),
+               all.quantile(0.5), all.quantile(0.99),
+               reg->gauge("tensat_service_cache_hit_ratio").value(),
+               reg->gauge("tensat_service_pool_queue_depth").value(),
+               static_cast<unsigned long long>(
+                   svc.flight_recorder()->total_recorded()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int rounds = 3;
   std::string session_key = "iter";
+  std::string metrics_path;
+  std::string metrics_json_path;
   service::ServiceOptions options;
   options.tensat = bench::tensat_options();
   options.tensat.k_max = 4;
@@ -99,6 +148,16 @@ int main(int argc, char** argv) {
       options.enable_sessions = false;
     else if (std::strcmp(argv[i], "--no-warm") == 0)
       options.enable_warm_starts = false;
+    else if (std::strcmp(argv[i], "--metrics") == 0)
+      metrics_path = need_value("--metrics");
+    else if (std::strcmp(argv[i], "--metrics-json") == 0)
+      metrics_json_path = need_value("--metrics-json");
+    else if (std::strcmp(argv[i], "--no-metrics") == 0)
+      options.enable_metrics = false;
+    else if (std::strcmp(argv[i], "--slow-threshold") == 0)
+      options.slow_threshold_s = std::atof(need_value("--slow-threshold"));
+    else if (std::strcmp(argv[i], "--slow-dump-dir") == 0)
+      options.slow_dump_dir = need_value("--slow-dump-dir");
     else
       return usage(argv[0]);
   }
@@ -149,6 +208,15 @@ int main(int argc, char** argv) {
                     r.original_cost, r.optimized_cost, r.seconds);
       }
     }
+    report_round(svc, round);
+    if (!metrics_path.empty() && svc.metrics() != nullptr) {
+      // Per-round snapshots: tools/check_prometheus.py diffs consecutive
+      // files to verify counters never decrease across scrapes.
+      std::ostringstream body;
+      svc.metrics()->expose_prometheus(body);
+      write_exposition(metrics_path + ".round" + std::to_string(round + 1),
+                       body.str());
+    }
   }
   tracer.uninstall();
 
@@ -162,5 +230,27 @@ int main(int argc, char** argv) {
     if (total.name.rfind("service/", 0) == 0)
       std::printf("%s %lld\n", total.name.c_str(),
                   static_cast<long long>(total.value));
+
+  if (svc.metrics() != nullptr) {
+    if (!metrics_path.empty()) {
+      std::ostringstream body;
+      svc.metrics()->expose_prometheus(body);
+      if (!write_exposition(metrics_path, body.str())) ++failures;
+      std::printf("metrics/prometheus %s\n", metrics_path.c_str());
+    }
+    if (!metrics_json_path.empty()) {
+      std::ostringstream body;
+      svc.metrics()->expose_json(body);
+      if (!write_exposition(metrics_json_path, body.str())) ++failures;
+      std::printf("metrics/json %s\n", metrics_json_path.c_str());
+    }
+    const metrics::FlightRecorder& flight = *svc.flight_recorder();
+    std::printf("flight/recorded %llu\n",
+                static_cast<unsigned long long>(flight.total_recorded()));
+    std::printf("flight/dumps %llu\n",
+                static_cast<unsigned long long>(flight.dumps_written()));
+    for (const std::string& path : flight.dump_paths())
+      std::printf("flight/dump %s\n", path.c_str());
+  }
   return failures == 0 ? 0 : 1;
 }

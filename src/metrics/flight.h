@@ -1,0 +1,108 @@
+// Flight recorder: a bounded ring of per-request telemetry records with
+// automatic slow-request capture.
+//
+// Aggregate metrics (metrics.h) tell an operator THAT the p99 blew up;
+// the flight recorder tells them WHICH request did it and WHERE the time
+// went. Every completed request appends one RequestRecord — id,
+// fingerprint, outcome, wall seconds, the per-phase breakdown lifted from
+// ExploreStats/ExtractStats, stop reason, MILP gap — into a fixed-capacity
+// ring (oldest evicted first). A request whose wall time exceeds
+// Options::slow_threshold_s is additionally CAPTURED: its record is
+// re-rendered as a per-phase span timeline through the existing tracer
+// (trace::Tracer, never installed — a private instance) and dumped as a
+// Chrome trace-event JSON file, so the tail request is diagnosable in
+// Perfetto after the fact without having traced the whole service.
+//
+// Costs: record() takes one uncontended mutex for a struct copy — per
+// REQUEST, not per event, so it is invisible next to even a cache-hit
+// submit. Slow dumps do file I/O on the submitting thread; they are
+// bounded by Options::max_dumps per recorder lifetime so a misconfigured
+// threshold cannot fill a disk.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tensat::metrics {
+
+/// One serviced request, as the flight recorder remembers it. Phase
+/// seconds are zero when the phase did not run (cache hits, errors).
+struct RequestRecord {
+  enum class Outcome : uint8_t { kHit, kCold, kSession, kError };
+
+  uint64_t request_id{0};
+  uint64_t fingerprint{0};
+  Outcome outcome{Outcome::kCold};
+  double seconds{0.0};  // submit() wall time
+  int iterations{0};
+  /// StopReason as an int (metrics stays independent of the optimizer
+  /// headers); -1 when no exploration ran (hits, errors).
+  int stop_reason{-1};
+  // Exploration phase split (ExploreStats).
+  double search_seconds{0.0};
+  double apply_seconds{0.0};
+  double rebuild_seconds{0.0};
+  double dmap_seconds{0.0};
+  double cycle_sweep_seconds{0.0};
+  // Extraction phase split (ExtractStats).
+  double reach_seconds{0.0};
+  double reduce_seconds{0.0};
+  double lp_build_seconds{0.0};
+  double solve_seconds{0.0};
+  double stitch_seconds{0.0};
+  /// Certified MILP gap of the extraction; negative = not applicable
+  /// (greedy extractor, cache hit, error).
+  double milp_gap{-1.0};
+  size_t fallback_cores{0};
+  size_t enodes_total{0};  // e-graph size after the run (0 on hit/error)
+};
+
+const char* outcome_name(RequestRecord::Outcome o);
+
+class FlightRecorder {
+ public:
+  struct Options {
+    size_t capacity = 256;  // ring entries
+    /// Requests slower than this are dumped as Chrome traces; <= 0
+    /// disables capture (the ring still records).
+    double slow_threshold_s = 0.0;
+    std::string dump_dir = ".";
+    size_t max_dumps = 16;  // per recorder lifetime
+  };
+
+  FlightRecorder() : FlightRecorder(Options()) {}
+  explicit FlightRecorder(Options options);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one record (evicting the oldest past capacity) and captures a
+  /// slow-request trace dump when the thresholds say so. Thread-safe.
+  void record(const RequestRecord& r);
+
+  /// Ring contents, oldest first. Thread-safe (a consistent copy).
+  [[nodiscard]] std::vector<RequestRecord> snapshot() const;
+
+  [[nodiscard]] uint64_t total_recorded() const;
+  [[nodiscard]] uint64_t dumps_written() const;
+  /// Paths of the trace dumps written, in order (bounded by max_dumps).
+  [[nodiscard]] std::vector<std::string> dump_paths() const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  /// Renders `r` as a span timeline through a private trace::Tracer and
+  /// writes Chrome trace JSON. Returns the path, empty on I/O failure.
+  std::string write_dump(const RequestRecord& r);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::vector<RequestRecord> ring_;  // ring_[ (start_ + i) % capacity ]
+  size_t start_{0};
+  uint64_t total_{0};
+  uint64_t dumps_{0};
+  std::vector<std::string> dump_paths_;
+};
+
+}  // namespace tensat::metrics

@@ -1,0 +1,405 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <thread>
+
+#include "support/check.h"
+
+namespace tensat::metrics {
+
+namespace detail {
+
+size_t shard_index() {
+  // Hash the thread id once and cache it: the hot path is a TLS read and a
+  // mask. kShards is a power of two, so the mask is exact.
+  static_assert((kShards & (kShards - 1)) == 0, "kShards must be a power of 2");
+  thread_local const size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & (kShards - 1);
+  return slot;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Prometheus metric/label-name charset. Family names are fixed strings
+/// from our own call sites, so a violation is a programming error.
+bool valid_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    if (!alpha && (i == 0 || c < '0' || c > '9')) return false;
+  }
+  return true;
+}
+
+/// Escapes a label value per the text exposition format: backslash, double
+/// quote, and newline.
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// JSON string escaping for exposition (label values are the only dynamic
+/// strings; families are identifier-charset by construction).
+std::string escape_json(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Canonical `key="value"` rendering of a label set (insertion order — the
+/// caller's outcome enumeration order is the stable exposition order).
+std::string render_labels(const Labels& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += escape_label_value(labels[i].second);
+    out += '"';
+  }
+  return out;
+}
+
+/// `family{labels}` or `family{labels,extra}`; bare family when both empty.
+void write_series_name(std::ostream& out, const std::string& family,
+                       const std::string& labels, const std::string& extra = "") {
+  out << family;
+  if (labels.empty() && extra.empty()) return;
+  out << '{' << labels;
+  if (!labels.empty() && !extra.empty()) out << ',';
+  out << extra << '}';
+}
+
+void write_double(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out << buf;
+}
+
+/// JSON has no Inf/NaN literals; a non-finite value (e.g. a gauge someone
+/// set to a division by zero) exposes as null rather than invalid JSON.
+void write_json_double(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  write_double(out, v);
+}
+
+}  // namespace
+
+// ---- Histogram -------------------------------------------------------------
+
+size_t Histogram::bucket_index(double v) const {
+  if (!(v > lowest_)) return 0;  // NaN and everything <= lowest land here
+  const double ratio = v / lowest_;
+  int exp = 0;
+  const double frac = std::frexp(ratio, &exp);  // ratio = frac * 2^exp, frac in [0.5, 1)
+  // Bucket i covers (lowest*2^(i-1), lowest*2^i] — the upper edge is
+  // inclusive (Prometheus `le`), so an exact power of two (frac == 0.5)
+  // belongs one bucket below the open interval frexp reports.
+  const int bucket = frac == 0.5 ? exp - 1 : exp;
+  const size_t idx = static_cast<size_t>(bucket > 0 ? bucket : 1);
+  return idx > kBuckets ? kBuckets : idx;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.lowest = lowest_;
+  s.cumulative.assign(kBuckets + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i <= kBuckets; ++i)
+      s.cumulative[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    s.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (size_t i = 1; i <= kBuckets; ++i) s.cumulative[i] += s.cumulative[i - 1];
+  s.count = s.cumulative[kBuckets];
+  return s;
+}
+
+double HistogramSnapshot::upper_bound(size_t i) const {
+  if (i + 1 >= cumulative.size()) return std::numeric_limits<double>::infinity();
+  return lowest * std::ldexp(1.0, static_cast<int>(i));
+}
+
+namespace {
+/// Finite buckets worth exposing: both edges of every cumulative-count jump
+/// (plus bucket 0). Cumulative semantics make the elided runs exactly
+/// recoverable, and keeping the jump edges preserves full quantile
+/// resolution for a consumer — while a mostly-empty 40-bucket grid
+/// collapses to a handful of series.
+std::vector<size_t> exposed_buckets(const HistogramSnapshot& s) {
+  std::vector<size_t> out;
+  const size_t finite = s.cumulative.size() - 1;  // exclude +Inf
+  for (size_t i = 0; i < finite; ++i) {
+    const uint64_t prev = i == 0 ? 0 : s.cumulative[i - 1];
+    const uint64_t next = i + 1 < finite ? s.cumulative[i + 1] : s.count;
+    if (i == 0 || s.cumulative[i] != prev || s.cumulative[i] != next)
+      out.push_back(i);
+  }
+  return out;
+}
+}  // namespace
+
+namespace {
+double snapshot_quantile(const HistogramSnapshot& s, double q) {
+  if (s.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(s.count);
+  size_t b = 0;
+  while (b < s.cumulative.size() &&
+         static_cast<double>(s.cumulative[b]) < rank)
+    ++b;
+  if (b + 1 >= s.cumulative.size()) {
+    // +Inf bucket: report the largest finite bound (Prometheus convention —
+    // the estimate is a floor, not an extrapolation).
+    return s.upper_bound(s.cumulative.size() - 2);
+  }
+  const uint64_t below = b == 0 ? 0 : s.cumulative[b - 1];
+  const uint64_t in_bucket = s.cumulative[b] - below;
+  const double lower = b == 0 ? 0.0 : s.upper_bound(b - 1);
+  const double upper = s.upper_bound(b);
+  if (in_bucket == 0) return upper;
+  const double frac =
+      (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+  return lower + (upper - lower) * (frac < 0.0 ? 0.0 : frac);
+}
+}  // namespace
+
+double HistogramSnapshot::quantile(double q) const {
+  return snapshot_quantile(*this, q);
+}
+
+HistogramSnapshot merge_snapshots(const std::vector<HistogramSnapshot>& parts) {
+  HistogramSnapshot out;
+  for (const HistogramSnapshot& p : parts) {
+    if (out.cumulative.empty()) {
+      out = p;
+      continue;
+    }
+    TENSAT_CHECK(p.lowest == out.lowest &&
+                     p.cumulative.size() == out.cumulative.size(),
+                 "merge_snapshots: mismatched histogram grids");
+    for (size_t i = 0; i < out.cumulative.size(); ++i)
+      out.cumulative[i] += p.cumulative[i];
+    out.sum += p.sum;
+    out.count += p.count;
+  }
+  return out;
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry::Instance& MetricsRegistry::instance(const std::string& family,
+                                                     const Labels& labels,
+                                                     Type type,
+                                                     const std::string& help,
+                                                     double lowest) {
+  TENSAT_CHECK(valid_name(family), "invalid metric family name");
+  for (const auto& [key, value] : labels) {
+    (void)value;
+    TENSAT_CHECK(valid_name(key), "invalid metric label name");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto [fit, fresh] = families_.try_emplace(family);
+  Family& fam = fit->second;
+  if (fresh) {
+    fam.type = type;
+    fam.help = help;
+    fam.lowest = lowest;
+  } else {
+    TENSAT_CHECK(fam.type == type,
+                 "metric family re-registered under a different type");
+    if (fam.help.empty() && !help.empty()) fam.help = help;
+  }
+  auto [iit, created] = fam.instances.try_emplace(render_labels(labels));
+  Instance& inst = iit->second;
+  if (created) {
+    inst.labels = labels;
+    switch (type) {
+      case Type::kCounter: inst.counter = std::make_unique<Counter>(); break;
+      case Type::kGauge: inst.gauge = std::make_unique<Gauge>(); break;
+      case Type::kHistogram:
+        inst.histogram = std::make_unique<Histogram>(fam.lowest);
+        break;
+    }
+  }
+  return inst;
+}
+
+Counter& MetricsRegistry::counter(const std::string& family,
+                                  const Labels& labels,
+                                  const std::string& help) {
+  return *instance(family, labels, Type::kCounter, help, 0.0).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& family, const Labels& labels,
+                              const std::string& help) {
+  return *instance(family, labels, Type::kGauge, help, 0.0).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& family,
+                                      const Labels& labels,
+                                      const std::string& help, double lowest) {
+  return *instance(family, labels, Type::kHistogram, help, lowest).histogram;
+}
+
+size_t MetricsRegistry::families() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return families_.size();
+}
+
+void MetricsRegistry::expose_prometheus(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty())
+      out << "# HELP " << name << ' ' << fam.help << '\n';
+    out << "# TYPE " << name << ' '
+        << (fam.type == Type::kCounter
+                ? "counter"
+                : fam.type == Type::kGauge ? "gauge" : "histogram")
+        << '\n';
+    for (const auto& [label_str, inst] : fam.instances) {
+      switch (fam.type) {
+        case Type::kCounter:
+          write_series_name(out, name, label_str);
+          out << ' ' << inst.counter->value() << '\n';
+          break;
+        case Type::kGauge:
+          write_series_name(out, name, label_str);
+          out << ' ';
+          write_double(out, inst.gauge->value());
+          out << '\n';
+          break;
+        case Type::kHistogram: {
+          const HistogramSnapshot s = inst.histogram->snapshot();
+          for (const size_t i : exposed_buckets(s)) {
+            std::string le = "le=\"";
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.9g", s.upper_bound(i));
+            le += buf;
+            le += '"';
+            write_series_name(out, name + "_bucket", label_str, le);
+            out << ' ' << s.cumulative[i] << '\n';
+          }
+          write_series_name(out, name + "_bucket", label_str, "le=\"+Inf\"");
+          out << ' ' << s.count << '\n';
+          write_series_name(out, name + "_sum", label_str);
+          out << ' ';
+          write_double(out, s.sum);
+          out << '\n';
+          write_series_name(out, name + "_count", label_str);
+          out << ' ' << s.count << '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+void MetricsRegistry::expose_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto labels_json = [&](const Labels& labels) {
+    out << '{';
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) out << ',';
+      out << '"' << labels[i].first << "\":\"" << escape_json(labels[i].second)
+          << '"';
+    }
+    out << '}';
+  };
+  bool first_c = true, first_g = true, first_h = true;
+  out << "{\"counters\":[";
+  for (const auto& [name, fam] : families_) {
+    if (fam.type != Type::kCounter) continue;
+    for (const auto& [label_str, inst] : fam.instances) {
+      (void)label_str;
+      if (!first_c) out << ',';
+      first_c = false;
+      out << "{\"name\":\"" << name << "\",\"labels\":";
+      labels_json(inst.labels);
+      out << ",\"value\":" << inst.counter->value() << '}';
+    }
+  }
+  out << "],\"gauges\":[";
+  for (const auto& [name, fam] : families_) {
+    if (fam.type != Type::kGauge) continue;
+    for (const auto& [label_str, inst] : fam.instances) {
+      (void)label_str;
+      if (!first_g) out << ',';
+      first_g = false;
+      out << "{\"name\":\"" << name << "\",\"labels\":";
+      labels_json(inst.labels);
+      out << ",\"value\":";
+      write_json_double(out, inst.gauge->value());
+      out << '}';
+    }
+  }
+  out << "],\"histograms\":[";
+  for (const auto& [name, fam] : families_) {
+    if (fam.type != Type::kHistogram) continue;
+    for (const auto& [label_str, inst] : fam.instances) {
+      (void)label_str;
+      if (!first_h) out << ',';
+      first_h = false;
+      const HistogramSnapshot s = inst.histogram->snapshot();
+      out << "{\"name\":\"" << name << "\",\"labels\":";
+      labels_json(inst.labels);
+      out << ",\"count\":" << s.count << ",\"sum\":";
+      write_json_double(out, s.sum);
+      out << ",\"p50\":";
+      write_json_double(out, s.quantile(0.5));
+      out << ",\"p90\":";
+      write_json_double(out, s.quantile(0.9));
+      out << ",\"p99\":";
+      write_json_double(out, s.quantile(0.99));
+      out << ",\"buckets\":[";
+      bool first_b = true;
+      for (const size_t i : exposed_buckets(s)) {
+        if (!first_b) out << ',';
+        first_b = false;
+        out << "{\"le\":";
+        write_json_double(out, s.upper_bound(i));
+        out << ",\"cumulative\":" << s.cumulative[i] << '}';
+      }
+      out << (first_b ? "{\"le\":\"+Inf\",\"cumulative\":"
+                      : ",{\"le\":\"+Inf\",\"cumulative\":")
+          << s.count << "}]}";
+    }
+  }
+  out << "]}";
+}
+
+}  // namespace tensat::metrics

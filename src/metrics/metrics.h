@@ -1,0 +1,216 @@
+// Always-on service metrics: counters, gauges, and log-bucketed latency
+// histograms with Prometheus-text and JSON exposition.
+//
+// The tracing layer (src/trace/) answers "what happened inside THIS run" —
+// it is installed around one pipeline invocation and produces a timeline.
+// This layer answers the operator questions a long-lived service gets asked
+// continuously — p99 submit latency, hit ratio, queue depth — so it is
+// built to stay enabled for the process lifetime and be scraped while
+// requests are in flight.
+//
+// Recording follows the house lock-free-lanes pattern from src/trace/,
+// adapted to metrics' merge-on-scrape needs: every metric is sharded into
+// kShards cacheline-padded slots and a recording thread touches only the
+// slot its thread id hashes to — one relaxed atomic RMW per event, no lock,
+// no false sharing between unrelated threads. Scrapes sum the shards. The
+// numbers a scrape returns are therefore eventually consistent (a racing
+// add may or may not be included), which is exactly the Prometheus
+// contract; counters never decrease and histogram bucket counts never
+// exceed a later scrape's.
+//
+// Histograms are log-bucketed: bucket 0 covers (0, lowest]; bucket i
+// covers (lowest*2^(i-1), lowest*2^i]; the final bucket is +Inf. With the
+// default lowest = 1us that spans 1us .. ~550s in 40 buckets — wide enough
+// for cache hits and cold MILP solves on one grid. Quantiles (p50/p90/p99)
+// are estimated from the bucket counts by linear interpolation inside the
+// containing bucket, so their error is bounded by one bucket width (a
+// factor-of-2 band), the standard Prometheus histogram_quantile trade.
+//
+// Registration (MetricsRegistry::counter/gauge/histogram) takes a mutex
+// once per (family, labels) pair; the returned references are stable for
+// the registry's lifetime, so hot paths hold handles and never re-lookup.
+// Metric families must be fixed strings ([a-zA-Z_][a-zA-Z0-9_]*); label
+// VALUES may be dynamic and are escaped at exposition time.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tensat::metrics {
+
+namespace detail {
+/// Shard count per metric. A power of two; 16 slots keeps a Histogram
+/// under 6 KiB while making same-slot collisions of concurrently recording
+/// threads unlikely at service thread counts.
+inline constexpr size_t kShards = 16;
+
+/// The calling thread's shard slot: its thread id hashed once and cached
+/// thread-locally, so the hot path is an array index off a TLS read.
+size_t shard_index();
+
+/// Cacheline-padded atomic cell (one per shard) so two threads recording
+/// into different shards never contend on a line.
+struct alignas(64) PaddedU64 {
+  std::atomic<uint64_t> v{0};
+};
+}  // namespace detail
+
+/// Monotone counter. add() is one relaxed fetch_add on the caller's shard;
+/// value() sums the shards (scrape-time merge).
+class Counter {
+ public:
+  void add(uint64_t delta = 1) {
+    shards_[detail::shard_index()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  [[nodiscard]] uint64_t value() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  std::array<detail::PaddedU64, detail::kShards> shards_;
+};
+
+/// Point-in-time gauge (set wins; add is a CAS loop — gauges are updated at
+/// request rate, not inner-loop rate, so contention is negligible).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Merged scrape view of one histogram. `cumulative[i]` counts observations
+/// <= `upper_bound(i)` (Prometheus `le` semantics); the last entry is the
+/// +Inf bucket and equals `count`.
+struct HistogramSnapshot {
+  double lowest{0.0};  // upper bound of bucket 0
+  std::vector<uint64_t> cumulative;
+  uint64_t count{0};
+  double sum{0.0};
+
+  /// Upper bound of bucket i: lowest * 2^i; +Inf for the final bucket.
+  [[nodiscard]] double upper_bound(size_t i) const;
+  /// Quantile estimate for q in [0, 1]: linear interpolation inside the
+  /// bucket containing rank ceil(q * count). 0 when empty; the last finite
+  /// bound when the rank lands in the +Inf bucket (Prometheus convention).
+  [[nodiscard]] double quantile(double q) const;
+};
+
+/// Merges same-grid snapshots (e.g. per-outcome latency histograms into an
+/// all-outcomes view). Snapshots with mismatched grids are rejected.
+HistogramSnapshot merge_snapshots(const std::vector<HistogramSnapshot>& parts);
+
+/// Log-bucketed histogram of positive values. observe() is two relaxed
+/// atomic RMWs (bucket count + sum) on the caller's shard.
+class Histogram {
+ public:
+  /// Number of finite-bound buckets; one more +Inf bucket follows.
+  static constexpr size_t kBuckets = 40;
+
+  explicit Histogram(double lowest = 1e-6) : lowest_(lowest) {}
+
+  void observe(double v) {
+    auto& shard = shards_[detail::shard_index()];
+    shard.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    // Sum is a CAS loop: C++17 atomic<double> has no fetch_add, and the
+    // per-shard split keeps the loop effectively uncontended.
+    double cur = shard.sum.load(std::memory_order_relaxed);
+    while (!shard.sum.compare_exchange_weak(cur, cur + v,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] double lowest() const { return lowest_; }
+
+ private:
+  [[nodiscard]] size_t bucket_index(double v) const;
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBuckets + 1> buckets{};
+    std::atomic<double> sum{0.0};
+  };
+
+  const double lowest_;
+  std::array<Shard, detail::kShards> shards_;
+};
+
+/// Label set for one metric instance, e.g. {{"outcome", "hit"}}. Keys must
+/// be fixed identifier strings; values may be dynamic.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// A named registry of counters, gauges, and histograms with two exposition
+/// formats. Thread-safe: registration and scraping lock; recording through
+/// the returned references is lock-free (see the header comment).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric registered under (family, labels), creating it on
+  /// first use. The reference is stable for the registry's lifetime.
+  /// Registering one family under two different metric types throws.
+  /// `help`, when non-empty on the creating call, becomes the # HELP line.
+  Counter& counter(const std::string& family, const Labels& labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& family, const Labels& labels = {},
+               const std::string& help = "");
+  /// `lowest` applies on the creating call only (one grid per family).
+  Histogram& histogram(const std::string& family, const Labels& labels = {},
+                       const std::string& help = "", double lowest = 1e-6);
+
+  /// Prometheus text exposition format (one # TYPE line per family, samples
+  /// grouped under it; histograms expand to _bucket/_sum/_count series).
+  void expose_prometheus(std::ostream& out) const;
+  /// The same data as one JSON object ({"counters": [...], "gauges": [...],
+  /// "histograms": [...]}), with p50/p90/p99 precomputed per histogram.
+  void expose_json(std::ostream& out) const;
+
+  [[nodiscard]] size_t families() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Instance {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Type type{Type::kCounter};
+    std::string help;
+    double lowest{1e-6};
+    // Keyed by the canonical rendered label string, exposition-ordered.
+    std::map<std::string, Instance> instances;
+  };
+
+  Instance& instance(const std::string& family, const Labels& labels,
+                     Type type, const std::string& help, double lowest);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;  // exposition-ordered by name
+};
+
+}  // namespace tensat::metrics

@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "cycles/incremental.h"
@@ -7,6 +8,7 @@
 #include "extract/extract.h"
 #include "serialize/serialize.h"
 #include "service/fingerprint.h"
+#include "support/pool.h"
 #include "support/timer.h"
 #include "trace/trace.h"
 
@@ -22,6 +24,126 @@ struct OptimizationService::Session {
   std::unique_ptr<EGraph> eg;  // heap-owned: must not move while journaled
   ExplorationSession exp;
   size_t runs{0};
+  /// E-node total last folded into the service-wide session_enodes_ delta
+  /// counter (so retirement/regrowth adjust by exact differences).
+  size_t recorded_enodes{0};
+};
+
+struct OptimizationService::RunTelemetry {
+  ExploreStats explore;
+  ExtractStats extract;
+  bool has_explore{false};
+  bool has_extract{false};
+  size_t enodes_total{0};  // e-graph size when the run finished
+};
+
+/// All metric handles, resolved once at construction so the request path
+/// never re-looks-up a family (registry references are stable).
+struct OptimizationService::Instruments {
+  metrics::MetricsRegistry registry;
+  metrics::FlightRecorder flight;
+
+  metrics::Counter& requests;
+  metrics::Counter& errors;
+  metrics::Counter& cache_hits;
+  metrics::Counter& cache_misses;
+  metrics::Counter& sessions_created;
+  metrics::Counter& sessions_reused;
+  metrics::Counter& sessions_retired;
+  metrics::Counter& fallback_cores;
+  metrics::Counter& warm_start_hits;
+  metrics::Counter& refactorizations;
+  metrics::Counter& pool_steals;
+
+  metrics::Gauge& hit_ratio;
+  metrics::Gauge& cache_entries;
+  metrics::Gauge& warm_entries;
+  metrics::Gauge& sessions_live;
+  metrics::Gauge& session_enodes;
+  metrics::Gauge& pool_queue_depth;
+  metrics::Gauge& pool_workers;
+
+  // Per-outcome submit latency, one histogram instance per outcome label.
+  metrics::Histogram& latency_hit;
+  metrics::Histogram& latency_cold;
+  metrics::Histogram& latency_session;
+  metrics::Histogram& latency_error;
+  metrics::Histogram& milp_gap;
+
+  std::atomic<uint64_t> last_pool_steals{0};
+
+  explicit Instruments(metrics::FlightRecorder::Options flight_opts)
+      : flight(std::move(flight_opts)),
+        requests(registry.counter("tensat_service_requests_total", {},
+                                  "Requests submitted")),
+        errors(registry.counter("tensat_service_errors_total", {},
+                                "Rejected (malformed) submissions")),
+        cache_hits(registry.counter("tensat_service_cache_hits_total", {},
+                                    "Result-cache hits")),
+        cache_misses(registry.counter("tensat_service_cache_misses_total", {},
+                                      "Result-cache misses")),
+        sessions_created(registry.counter("tensat_service_sessions_created_total",
+                                          {}, "Persistent sessions created")),
+        sessions_reused(registry.counter("tensat_service_sessions_reused_total",
+                                         {},
+                                         "Requests resuming an existing session")),
+        sessions_retired(registry.counter(
+            "tensat_service_sessions_retired_total", {},
+            "Sessions retired (e-graph outgrew session_node_cap)")),
+        fallback_cores(registry.counter(
+            "tensat_service_fallback_cores_total", {},
+            "MILP cores solved by the LP-relaxation fallback")),
+        warm_start_hits(registry.counter(
+            "tensat_service_warm_start_hits_total", {},
+            "MILP node LPs restored from a warm-start basis")),
+        refactorizations(registry.counter(
+            "tensat_service_refactorizations_total", {},
+            "Sparse-basis refactorizations across MILP node LPs")),
+        pool_steals(registry.counter("tensat_service_pool_steals_total", {},
+                                     "Work-stealing pool deque steals")),
+        hit_ratio(registry.gauge("tensat_service_cache_hit_ratio", {},
+                                 "Lifetime result-cache hit ratio")),
+        cache_entries(registry.gauge("tensat_service_cache_entries", {},
+                                     "Result-cache resident entries")),
+        warm_entries(registry.gauge("tensat_service_warm_entries", {},
+                                    "MILP warm-start cache entries")),
+        sessions_live(registry.gauge("tensat_service_sessions_live", {},
+                                     "Persistent sessions resident")),
+        session_enodes(registry.gauge(
+            "tensat_service_session_enodes", {},
+            "E-nodes held across all live session e-graphs")),
+        pool_queue_depth(registry.gauge(
+            "tensat_service_pool_queue_depth", {},
+            "Pending invitations across all pool lanes")),
+        pool_workers(registry.gauge("tensat_service_pool_workers", {},
+                                    "Work-stealing pool worker threads")),
+        latency_hit(submit_histogram("hit")),
+        latency_cold(submit_histogram("cold")),
+        latency_session(submit_histogram("session")),
+        latency_error(submit_histogram("error")),
+        milp_gap(registry.histogram(
+            "tensat_service_milp_gap", {},
+            "Certified relative MILP optimality gap per request", 1e-9)) {}
+
+  metrics::Histogram& submit_histogram(const char* outcome) {
+    return registry.histogram("tensat_service_submit_seconds",
+                              {{"outcome", outcome}},
+                              "submit() wall time by request outcome");
+  }
+
+  metrics::Histogram& latency(metrics::RequestRecord::Outcome o) {
+    switch (o) {
+      case metrics::RequestRecord::Outcome::kHit:
+        return latency_hit;
+      case metrics::RequestRecord::Outcome::kCold:
+        return latency_cold;
+      case metrics::RequestRecord::Outcome::kSession:
+        return latency_session;
+      case metrics::RequestRecord::Outcome::kError:
+        return latency_error;
+    }
+    return latency_cold;
+  }
 };
 
 OptimizationService::OptimizationService(const std::vector<Rewrite>& rules,
@@ -34,18 +156,113 @@ OptimizationService::OptimizationService(const std::vector<Rewrite>& rules,
                        ? options_.session_node_cap
                        : 10 * options_.tensat.node_limit),
       cache_(options_.cache_capacity),
-      warm_(options_.warm_capacity) {}
+      warm_(options_.warm_capacity),
+      instruments_(options_.enable_metrics
+                       ? std::make_unique<Instruments>([&] {
+                           metrics::FlightRecorder::Options f;
+                           f.capacity = options_.flight_capacity;
+                           f.slow_threshold_s = options_.slow_threshold_s;
+                           f.dump_dir = options_.slow_dump_dir;
+                           f.max_dumps = options_.max_slow_dumps;
+                           return f;
+                         }())
+                       : nullptr) {}
 
 OptimizationService::~OptimizationService() = default;
+
+metrics::MetricsRegistry* OptimizationService::metrics() const {
+  return instruments_ ? &instruments_->registry : nullptr;
+}
+
+metrics::FlightRecorder* OptimizationService::flight_recorder() const {
+  return instruments_ ? &instruments_->flight : nullptr;
+}
+
+/// The single exit point for submit(): observes the latency histogram for
+/// `outcome`, refreshes the scrape gauges, folds the run's extraction
+/// counters in, and appends the flight-recorder record (which may dump a
+/// slow-request trace). No-op when metrics are disabled.
+void OptimizationService::finish(ServiceResponse& resp,
+                                 metrics::RequestRecord::Outcome outcome,
+                                 const RunTelemetry* tel) {
+  if (!instruments_) return;
+  Instruments& m = *instruments_;
+  m.latency(outcome).observe(resp.seconds);
+
+  if (tel != nullptr && tel->has_extract) {
+    m.fallback_cores.add(tel->extract.fallback_cores);
+    if (tel->extract.warm_start_hits > 0)
+      m.warm_start_hits.add(static_cast<uint64_t>(tel->extract.warm_start_hits));
+    if (tel->extract.refactorizations > 0)
+      m.refactorizations.add(
+          static_cast<uint64_t>(tel->extract.refactorizations));
+    if (tel->extract.gap >= 0.0 && tel->extract.gap < kInf)
+      m.milp_gap.observe(tel->extract.gap);
+  }
+
+  // Scrape gauges. Reading the service's own counters via the registry
+  // keeps Prometheus self-consistent (ratio derived from the same totals
+  // the scrape exposes).
+  const uint64_t hits = m.cache_hits.value();
+  const uint64_t misses = m.cache_misses.value();
+  if (hits + misses > 0)
+    m.hit_ratio.set(static_cast<double>(hits) /
+                    static_cast<double>(hits + misses));
+  m.cache_entries.set(static_cast<double>(cache_.size()));
+  m.warm_entries.set(static_cast<double>(warm_.size()));
+  m.sessions_live.set(static_cast<double>(live_sessions()));
+  m.session_enodes.set(
+      static_cast<double>(session_enodes_.load(std::memory_order_relaxed)));
+
+  WorkStealingPool& pool = WorkStealingPool::global();
+  m.pool_queue_depth.set(static_cast<double>(pool.queue_depth()));
+  m.pool_workers.set(static_cast<double>(pool.worker_count()));
+  const uint64_t steals = pool.stats().steals;
+  const uint64_t prev =
+      m.last_pool_steals.exchange(steals, std::memory_order_relaxed);
+  if (steals > prev) m.pool_steals.add(steals - prev);
+
+  metrics::RequestRecord rec;
+  rec.request_id = resp.request_id;
+  rec.fingerprint = resp.fingerprint;
+  rec.outcome = outcome;
+  rec.seconds = resp.seconds;
+  rec.iterations = resp.iterations;
+  if (tel != nullptr) {
+    if (tel->has_explore) {
+      rec.stop_reason = static_cast<int>(tel->explore.stop);
+      rec.search_seconds = tel->explore.search_seconds;
+      rec.apply_seconds = tel->explore.apply_seconds;
+      rec.rebuild_seconds = tel->explore.rebuild_seconds;
+      rec.dmap_seconds = tel->explore.dmap_seconds;
+      rec.cycle_sweep_seconds = tel->explore.cycle_sweep_seconds;
+    }
+    if (tel->has_extract) {
+      rec.reach_seconds = tel->extract.reach_seconds;
+      rec.reduce_seconds = tel->extract.reduce_seconds;
+      rec.lp_build_seconds = tel->extract.lp_build_seconds;
+      rec.solve_seconds = tel->extract.solve_seconds;
+      rec.stitch_seconds = tel->extract.stitch_seconds;
+      if (tel->extract.gap >= 0.0 && tel->extract.gap < kInf)
+        rec.milp_gap = tel->extract.gap;
+      rec.fallback_cores = tel->extract.fallback_cores;
+    }
+    rec.enodes_total = tel->enodes_total;
+  }
+  m.flight.record(rec);
+}
 
 ServiceResponse OptimizationService::submit(const std::string& graph_text,
                                             const std::string& session_key) {
   Timer timer;
   ServiceResponse resp;
+  resp.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.requests;
   }
+  if (instruments_) instruments_->requests.inc();
 
   Graph input;
   std::string canonical;
@@ -56,8 +273,12 @@ ServiceResponse OptimizationService::submit(const std::string& graph_text,
     // Malformed request bytes are a client error, never a service crash.
     resp.error = e.what();
     resp.seconds = timer.seconds();
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.errors;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.errors;
+    }
+    if (instruments_) instruments_->errors.inc();
+    finish(resp, metrics::RequestRecord::Outcome::kError, nullptr);
     return resp;
   }
   resp.fingerprint = fingerprint(canonical);
@@ -74,19 +295,28 @@ ServiceResponse OptimizationService::submit(const std::string& graph_text,
       resp.optimized_cost = hit->optimized_cost;
       resp.iterations = 0;
       resp.seconds = timer.seconds();
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.cache_hits;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.cache_hits;
+      }
+      if (instruments_) instruments_->cache_hits.inc();
+      finish(resp, metrics::RequestRecord::Outcome::kHit, nullptr);
       return resp;
     }
     trace::incr("service/misses", 1);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.cache_misses;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.cache_misses;
+    }
+    if (instruments_) instruments_->cache_misses.inc();
   }
 
   const bool use_session = options_.enable_sessions && !session_key.empty();
-  ServiceResponse run =
-      use_session ? run_in_session(input, session_key) : run_sessionless(input);
+  RunTelemetry tel;
+  ServiceResponse run = use_session ? run_in_session(input, session_key, &tel)
+                                    : run_sessionless(input, &tel);
   run.fingerprint = resp.fingerprint;
+  run.request_id = resp.request_id;
 
   // Only cold-path results populate the cache: a session result depends on
   // the session's prior exploration, and a later hit must hand back exactly
@@ -101,10 +331,15 @@ ServiceResponse OptimizationService::submit(const std::string& graph_text,
     cache_.insert(canonical, std::move(entry));
   }
   run.seconds = timer.seconds();
+  finish(run,
+         use_session ? metrics::RequestRecord::Outcome::kSession
+                     : metrics::RequestRecord::Outcome::kCold,
+         &tel);
   return run;
 }
 
-ServiceResponse OptimizationService::run_sessionless(const Graph& input) {
+ServiceResponse OptimizationService::run_sessionless(const Graph& input,
+                                                     RunTelemetry* tel) {
   ServiceResponse resp;
   TensatOptions t = options_.tensat;
   if (options_.enable_warm_starts) t.ilp.warm_cache = &warm_;
@@ -116,11 +351,19 @@ ServiceResponse OptimizationService::run_sessionless(const Graph& input) {
     resp.optimized_cost = result.optimized_cost;
     resp.iterations = result.explore.iterations;
   }
+  tel->explore = result.explore;
+  tel->has_explore = true;
+  tel->enodes_total = result.explore.enodes_total;
+  if (t.extractor == ExtractorKind::kIlp) {
+    tel->extract = result.extract_stats;
+    tel->has_extract = true;
+  }
   return resp;
 }
 
 ServiceResponse OptimizationService::run_in_session(const Graph& input,
-                                                    const std::string& key) {
+                                                    const std::string& key,
+                                                    RunTelemetry* tel) {
   std::shared_ptr<Session> session;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -128,6 +371,7 @@ ServiceResponse OptimizationService::run_in_session(const Graph& input,
     if (slot == nullptr) {
       slot = std::make_shared<Session>();
       ++stats_.sessions_created;
+      if (instruments_) instruments_->sessions_created.inc();
     }
     session = slot;
   }
@@ -140,8 +384,14 @@ ServiceResponse OptimizationService::run_in_session(const Graph& input,
       session->eg->num_enodes_total() > session_cap_) {
     session->exp = ExplorationSession{};
     session->eg.reset();
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.sessions_retired;
+    session_enodes_.fetch_sub(static_cast<int64_t>(session->recorded_enodes),
+                              std::memory_order_relaxed);
+    session->recorded_enodes = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.sessions_retired;
+    }
+    if (instruments_) instruments_->sessions_retired.inc();
   }
 
   const bool reused = session->eg != nullptr;
@@ -164,6 +414,8 @@ ServiceResponse OptimizationService::run_in_session(const Graph& input,
   ServiceResponse resp;
   ExploreStats explore = run_exploration(eg, rules_, t, &session->exp);
   resp.iterations = explore.iterations;
+  tel->explore = explore;
+  tel->has_explore = true;
 
   const double original_cost = graph_cost(input, model_);
   bool ok = false;
@@ -183,6 +435,8 @@ ServiceResponse OptimizationService::run_in_session(const Graph& input,
       optimized = std::move(ilp.graph);
       optimized_cost = ilp.cost;
     }
+    tel->extract = ilp.stats;
+    tel->has_extract = true;
   }
   // Same certificate optimize() gives: never worse than the request's input.
   if (!ok || optimized_cost > original_cost) {
@@ -199,10 +453,22 @@ ServiceResponse OptimizationService::run_in_session(const Graph& input,
   resp.optimized_cost = optimized_cost;
   ++session->runs;
 
+  // Maintain the service-wide live-e-node delta for the size gauge.
+  const size_t now_enodes = eg.num_enodes_total();
+  session_enodes_.fetch_add(
+      static_cast<int64_t>(now_enodes) -
+          static_cast<int64_t>(session->recorded_enodes),
+      std::memory_order_relaxed);
+  session->recorded_enodes = now_enodes;
+  tel->enodes_total = now_enodes;
+
   if (reused) {
     trace::incr("service/sessions_reused", 1);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.sessions_reused;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.sessions_reused;
+    }
+    if (instruments_) instruments_->sessions_reused.inc();
   }
   return resp;
 }

@@ -40,8 +40,15 @@
 //   service/hits             result-cache hits
 //   service/misses           result-cache misses
 //   service/sessions_reused  requests that resumed an existing session
+//
+// Metrics (src/metrics/, always-on unless ServiceOptions::enable_metrics is
+// cleared): per-outcome submit latency histograms, hit-ratio / session /
+// pool gauges, MILP gap and fallback counters, and a flight recorder of
+// per-request records with slow-request Chrome-trace capture. Scrape with
+// metrics()->expose_prometheus() / expose_json(); see docs/OBSERVABILITY.md.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -51,6 +58,8 @@
 
 #include "cost/cost.h"
 #include "extract/engine/engine.h"
+#include "metrics/flight.h"
+#include "metrics/metrics.h"
 #include "optimizer/optimizer.h"
 #include "rewrite/rules.h"
 #include "service/cache.h"
@@ -72,6 +81,17 @@ struct ServiceOptions {
   /// e-nodes; 0 = 10x tensat.node_limit. Retirement drops the explored
   /// state — the next request on the key starts a fresh session.
   size_t session_node_cap = 0;
+  /// Metrics are on by default (that is the point of an always-on layer);
+  /// the switch exists so bench section 10 can measure its own overhead
+  /// gate against a genuinely uninstrumented service.
+  bool enable_metrics = true;
+  /// Flight-recorder knobs (metrics::FlightRecorder::Options). A request
+  /// slower than slow_threshold_s dumps a Chrome trace of its phase
+  /// breakdown into slow_dump_dir; <= 0 disables capture (ring still on).
+  size_t flight_capacity = 256;
+  double slow_threshold_s = 0.0;
+  std::string slow_dump_dir = ".";
+  size_t max_slow_dumps = 16;
 };
 
 /// Everything submit() reports about one request.
@@ -86,6 +106,11 @@ struct ServiceResponse {
   double optimized_cost{0.0};
   int iterations{0};           // exploration iterations this request ran (0 on hit)
   double seconds{0.0};         // submit() wall time, including hits
+  /// Process-unique id assigned at submission (1-based, monotone). Keys the
+  /// flight-recorder record and any slow-request trace dump for this
+  /// request, so a client report ("request 1234 was slow") is joinable
+  /// against the service's own telemetry.
+  uint64_t request_id{0};
 };
 
 /// Service-lifetime counters (monotone; independent of the trace sink).
@@ -121,11 +146,24 @@ class OptimizationService {
   [[nodiscard]] size_t warm_entries() const { return warm_.size(); }
   [[nodiscard]] size_t live_sessions() const;
 
+  /// The metrics registry / flight recorder, or nullptr when
+  /// ServiceOptions::enable_metrics is false. Scraping is thread-safe and
+  /// may run concurrently with submissions.
+  [[nodiscard]] metrics::MetricsRegistry* metrics() const;
+  [[nodiscard]] metrics::FlightRecorder* flight_recorder() const;
+
  private:
   struct Session;
+  struct Instruments;
+  /// Per-run phase/stat payload handed back by the run paths so submit()'s
+  /// single finish point can feed the histograms and flight recorder.
+  struct RunTelemetry;
 
-  ServiceResponse run_sessionless(const Graph& input);
-  ServiceResponse run_in_session(const Graph& input, const std::string& key);
+  ServiceResponse run_sessionless(const Graph& input, RunTelemetry* tel);
+  ServiceResponse run_in_session(const Graph& input, const std::string& key,
+                                 RunTelemetry* tel);
+  void finish(ServiceResponse& resp, metrics::RequestRecord::Outcome outcome,
+              const RunTelemetry* tel);
 
   const std::vector<Rewrite>& rules_;
   const CostModel& model_;
@@ -138,6 +176,12 @@ class OptimizationService {
   mutable std::mutex mutex_;  // guards sessions_ and stats_
   std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
   ServiceStats stats_;
+
+  std::atomic<uint64_t> next_request_id_{0};
+  /// Live e-node total across all session e-graphs (delta-maintained by the
+  /// session runs; drives the e-graph-size gauge without walking the table).
+  std::atomic<int64_t> session_enodes_{0};
+  const std::unique_ptr<Instruments> instruments_;  // null = metrics off
 };
 
 }  // namespace service

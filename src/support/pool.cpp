@@ -198,6 +198,7 @@ void WorkStealingPool::submit(pool_detail::Job* job, size_t invitations) {
   } else {
     const std::lock_guard<std::mutex> lock(inject_mu_);
     for (size_t i = 0; i < invitations; ++i) injected_.push_back(job);
+    injected_size_.store(injected_.size(), std::memory_order_relaxed);
   }
   {
     // Empty critical section: a sleeper that scanned before the pushes
@@ -217,6 +218,7 @@ pool_detail::Job* WorkStealingPool::find_work(Worker* self) {
     if (!injected_.empty()) {
       pool_detail::Job* job = injected_.front();
       injected_.pop_front();
+      injected_size_.store(injected_.size(), std::memory_order_relaxed);
       return job;
     }
   }
@@ -275,10 +277,12 @@ void WorkStealingPool::for_each(size_t n, size_t participants, RawFn fn,
   jobs_.fetch_add(1, std::memory_order_relaxed);
   invitations_.fetch_add(participants - 1, std::memory_order_relaxed);
   const uint64_t steals_before = steals_.load(std::memory_order_relaxed);
-  size_t queue_depth = 0;
-  if (tls_pool == this && tls_worker != nullptr) {
-    queue_depth = static_cast<Worker*>(tls_worker)->deque.size();
-  }
+  // Sample the backlog across the WHOLE pool, before this call's own
+  // invitations land. (The stat used to read only the calling worker's own
+  // deque — a lane that is empty almost by definition at this point, since
+  // the caller drains its own deque before submitting new work.)
+  const size_t queue_depth_before =
+      trace::Tracer::current() != nullptr ? queue_depth() : 0;
 
   submit(job, participants - 1);
   job->run_chunks();
@@ -299,10 +303,20 @@ void WorkStealingPool::for_each(size_t n, size_t participants, RawFn fn,
     trace::stat("pool/steals",
                 static_cast<int64_t>(
                     steals_.load(std::memory_order_relaxed) - steals_before));
-    trace::stat("pool/queue_depth", static_cast<int64_t>(queue_depth));
+    trace::stat("pool/queue_depth", static_cast<int64_t>(queue_depth_before));
   }
 
   if (error) std::rethrow_exception(error);
+}
+
+size_t WorkStealingPool::queue_depth() const {
+  // Lock-free on purpose: the tracer's pool/queue_depth stat samples this
+  // on every traced for_each dispatch, so it must cost a handful of relaxed
+  // loads, not an inject_mu_ acquisition racing real submitters.
+  size_t depth = injected_size_.load(std::memory_order_relaxed);
+  const size_t count = worker_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < count; ++i) depth += workers_[i]->deque.size();
+  return depth;
 }
 
 WorkStealingPool::Stats WorkStealingPool::stats() const {

@@ -127,6 +127,14 @@ class WorkStealingPool {
   };
   Stats stats() const;
 
+  /// Pending invitations across the whole pool: every worker deque plus the
+  /// injection queue. Approximate (each deque is read racily while owners
+  /// push/pop), but covers ALL lanes — unlike a single worker's own deque,
+  /// which is empty almost by definition whenever that worker is the one
+  /// asking. This is the number the pool-utilization gauge wants: how much
+  /// published work is waiting for a thread, wherever it is queued.
+  size_t queue_depth() const;
+
   size_t worker_count() const {
     return worker_count_.load(std::memory_order_acquire);
   }
@@ -156,8 +164,12 @@ class WorkStealingPool {
   std::mutex spawn_mu_;
 
   // Submission path for non-worker callers (the main thread, test threads).
+  // injected_size_ mirrors injected_.size() (updated under inject_mu_ at
+  // every push/pop) so queue_depth() can read the backlog without taking
+  // the lock — it is sampled per traced dispatch.
   std::mutex inject_mu_;
   std::deque<pool_detail::Job*> injected_;
+  std::atomic<size_t> injected_size_{0};
 
   // Sleep/wake. Producers take sleep_mu_ around the notify and sleepers
   // re-scan for work under it before waiting, so a wake can never be lost;

@@ -258,6 +258,44 @@ TEST(ParallelPoolTest, TelemetryCountersAreMonotone) {
   EXPECT_EQ(sink.load(), 1000u * 999u / 2);
 }
 
+// queue_depth() must see work queued in EVERY lane — the regression it
+// pins: the old pool/queue_depth stat sampled only the calling worker's own
+// deque, which is empty almost by definition at sampling time, so the gauge
+// read 0 even with a backlog. Here the backlog sits in the injection queue
+// (a non-worker submitter while all workers are pinned), exactly the lane
+// the old stat could never see.
+TEST(ParallelPoolTest, QueueDepthSeesAllLanes) {
+  auto& pool = WorkStealingPool::global();
+  parallel_for(64, 4, [](size_t) {});  // warm up: spawn workers
+  const size_t workers = pool.worker_count();
+  ASSERT_GE(workers, 3u);
+
+  std::atomic<size_t> entered{0};
+  std::atomic<bool> release{false};
+  // Pin every worker (and the submitting thread) in a spinning job.
+  std::thread blocker([&] {
+    parallel_for(workers + 1, workers + 1, [&](size_t) {
+      entered.fetch_add(1, std::memory_order_acq_rel);
+      while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+    });
+  });
+  while (entered.load(std::memory_order_acquire) < workers + 1)
+    std::this_thread::yield();
+
+  // With all workers pinned, a non-worker submission lands its invitations
+  // in the injection queue and self-completes; the stale invitations stay
+  // queued behind the spinning job.
+  std::atomic<uint64_t> sink{0};
+  parallel_for(3, 3, [&](size_t i) { sink.fetch_add(i + 1); });
+  EXPECT_EQ(sink.load(), 6u);
+  EXPECT_GE(pool.queue_depth(), 2u);  // the two unclaimed invitations
+
+  release.store(true, std::memory_order_release);
+  blocker.join();
+  // Workers drain the stale invitations (no-ops); the pool stays usable.
+  parallel_for(64, 4, [](size_t) {});
+}
+
 // The spawning baseline (bench section 8's comparison point) must agree
 // with the pool on the success path: same per-index coverage.
 TEST(ParallelPoolTest, SpawningBaselineCoversAllIndices) {

@@ -252,6 +252,32 @@ TEST(Tracer, ChromeTraceJsonIsValid) {
   EXPECT_NE(json.find("thread_name"), std::string::npos);   // lane metadata
 }
 
+TEST(Tracer, ChromeTraceEscapesControlCharacters) {
+  // Event names carrying raw control characters (< 0x20) must come out as
+  // \u00XX escapes (or the \n / \t shorthands) — a raw control byte inside
+  // a JSON string is invalid and chrome://tracing refuses the whole file.
+  static const char kName[] = "bad\x01name\x1f mid\ttab\nnl \"q\" b\\s";
+  trace::Tracer tracer;
+  tracer.install();
+  trace::instant(kName);
+  trace::incr(kName, 1);  // totals render through the same escaper
+  tracer.uninstall();
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(json_valid(json)) << json;
+  for (const char c : json)
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control byte " << static_cast<int>(c) << " in output";
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\\"q\\\""), std::string::npos);
+  EXPECT_NE(json.find("b\\\\s"), std::string::npos);
+}
+
 // ---- Pipeline determinism across thread counts ----------------------------
 
 struct ExploreRun {

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-exposition conformance of a metrics scrape.
+
+Usage: check_prometheus.py SCRAPE [EARLIER_SCRAPE ...]
+
+Checks, on the first (latest) file:
+  * every sample line parses as  name{labels} value  with a valid metric
+    name and finite value;
+  * every sample is preceded by a # TYPE line for its family (histogram
+    samples belong to the family minus the _bucket/_sum/_count suffix);
+  * counter and histogram samples are non-negative;
+  * per histogram instance: the _bucket series is cumulative (counts never
+    decrease as `le` grows), ends in an le="+Inf" bucket, and that bucket
+    equals the _count sample.
+
+When earlier scrape files are given (oldest last), additionally checks that
+every counter and histogram _count/_bucket value is monotone non-decreasing
+from each earlier scrape to the latest — the Prometheus counter contract
+across scrapes of a live service.
+
+Exits non-zero with a message on the first violation.
+"""
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name{label="value",...} value   — label values may contain escaped chars.
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*)\})?'
+    r' (?P<value>\S+)$'
+)
+
+
+def fail(msg):
+    sys.stderr.write("check_prometheus: FAIL: %s\n" % msg)
+    sys.exit(1)
+
+
+def base_family(name, families):
+    """Map a sample name to its # TYPE family (histograms expose suffixes)."""
+    if name in families:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return None
+
+
+def parse(path):
+    """Returns (families: name -> type, samples: [(name, labels, value)])."""
+    families = {}
+    samples = []
+    for lineno, raw in enumerate(open(path), 1):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                fail("%s:%d malformed TYPE line: %r" % (path, lineno, line))
+            name, mtype = parts[2], parts[3]
+            if not NAME_RE.match(name):
+                fail("%s:%d bad family name %r" % (path, lineno, name))
+            if mtype not in ("counter", "gauge", "histogram"):
+                fail("%s:%d unknown metric type %r" % (path, lineno, mtype))
+            if name in families:
+                fail("%s:%d duplicate TYPE line for %s" % (path, lineno, name))
+            families[name] = mtype
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail("%s:%d unparseable sample line: %r" % (path, lineno, line))
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            fail("%s:%d non-numeric value: %r" % (path, lineno, line))
+        if math.isnan(value):
+            fail("%s:%d NaN sample value: %r" % (path, lineno, line))
+        samples.append((m.group("name"), m.group("labels") or "", value))
+    return families, samples
+
+
+def check_scrape(path):
+    families, samples = parse(path)
+    if not samples:
+        fail("%s: no samples" % path)
+
+    # histogram instance -> list of (le, count) in exposition order; and
+    # instance -> _count value, for the cumulativity check.
+    buckets = {}
+    counts = {}
+    for name, labels, value in samples:
+        family = base_family(name, families)
+        if family is None:
+            fail("%s: sample %s has no # TYPE line" % (path, name))
+        mtype = families[family]
+        if mtype in ("counter", "histogram") and value < 0:
+            fail("%s: negative %s sample %s %r" % (path, mtype, name, value))
+        if mtype == "histogram":
+            # Instance key = labels minus the le pair.
+            le = None
+            kept = []
+            for pair in filter(None, labels.split(",")):
+                if pair.startswith('le="'):
+                    le = pair[4:-1]
+                else:
+                    kept.append(pair)
+            instance = (family, ",".join(kept))
+            if name.endswith("_bucket"):
+                if le is None:
+                    fail("%s: bucket without le label: %s{%s}" % (path, name, labels))
+                buckets.setdefault(instance, []).append((le, value))
+            elif name.endswith("_count"):
+                counts[instance] = value
+
+    for instance, series in sorted(buckets.items()):
+        prev = -1.0
+        for le, value in series:
+            if value < prev:
+                fail("%s: histogram %s not cumulative at le=%s (%r < %r)"
+                     % (path, instance, le, value, prev))
+            prev = value
+        if series[-1][0] != "+Inf":
+            fail("%s: histogram %s bucket series does not end at le=\"+Inf\""
+                 % (path, instance))
+        if instance not in counts:
+            fail("%s: histogram %s has buckets but no _count" % (path, instance))
+        if series[-1][1] != counts[instance]:
+            fail("%s: histogram %s +Inf bucket %r != _count %r"
+                 % (path, instance, series[-1][1], counts[instance]))
+
+    return families, samples
+
+
+def monotone_view(families, samples):
+    """All samples that must never decrease across scrapes."""
+    view = {}
+    for name, labels, value in samples:
+        family = base_family(name, families)
+        mtype = families[family]
+        if mtype == "counter" or (
+            mtype == "histogram" and not name.endswith("_sum")
+        ):
+            view[(name, labels)] = value
+    return view
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    latest_families, latest_samples = check_scrape(argv[1])
+    latest = monotone_view(latest_families, latest_samples)
+    for earlier_path in argv[2:]:
+        earlier_families, earlier_samples = check_scrape(earlier_path)
+        earlier = monotone_view(earlier_families, earlier_samples)
+        for key, value in earlier.items():
+            if key not in latest:
+                fail("series %s present in %s but missing from %s"
+                     % (key, earlier_path, argv[1]))
+            if latest[key] < value:
+                fail("series %s decreased: %r in %s -> %r in %s"
+                     % (key, value, earlier_path, latest[key], argv[1]))
+    print("check_prometheus: OK (%d samples, %d families, %d earlier scrape(s))"
+          % (len(latest_samples), len(latest_families), len(argv) - 2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
